@@ -1,0 +1,55 @@
+package dimm
+
+import (
+	"dimm/internal/apps"
+	"dimm/internal/core"
+)
+
+// This file exposes the frameworks and applications beyond plain DIIMM:
+// OPIM-C (adaptive-stopping influence maximization), targeted and
+// budgeted influence maximization, and seed minimization — each running
+// over the same distributed substrate.
+
+// OPIMResult reports a MaximizeInfluenceOPIMC run, including the
+// certified spread lower bound and OPT upper bound at stopping time.
+type OPIMResult = core.OPIMResult
+
+// MaximizeInfluenceOPIMC runs the distributed OPIM-C framework: same
+// (1 − 1/e − ε) guarantee as MaximizeInfluence, but with an adaptive
+// stopping rule that certifies the approximation online and usually needs
+// far fewer samples on easy instances. Machines counts workers per
+// RR-set collection (OPIM-C keeps two).
+func MaximizeInfluenceOPIMC(g *Graph, opts Options) (*OPIMResult, error) {
+	return core.RunDOPIMC(g, opts)
+}
+
+// AppConfig configures the influence-application runs (targeted/budgeted
+// influence maximization and seed minimization). Zero values default to
+// Machines=1, Eps=0.2, Delta=1/n.
+type AppConfig = apps.Common
+
+// AppResult is the common result shape of the applications.
+type AppResult = apps.Result
+
+// SeedMinimizeResult additionally reports whether the target was reached.
+type SeedMinimizeResult = apps.MinimizeResult
+
+// MaximizeTargetedInfluence selects k seeds maximizing the weighted
+// spread Σ_v weights[v]·Pr[S activates v]. Zero-weight nodes can still
+// relay influence; they just do not count toward the objective.
+func MaximizeTargetedInfluence(g *Graph, weights []float64, k int, cfg AppConfig) (*AppResult, error) {
+	return apps.TargetedIM(g, weights, k, cfg)
+}
+
+// MaximizeBudgetedInfluence selects a seed set of total cost ≤ budget
+// (per-node costs) maximizing influence spread, via the cost-ratio lazy
+// greedy over the distributed oracle.
+func MaximizeBudgetedInfluence(g *Graph, costs []float64, budget float64, cfg AppConfig) (*AppResult, error) {
+	return apps.BudgetedIM(g, costs, budget, cfg)
+}
+
+// MinimizeSeeds returns the smallest greedy seed set whose estimated
+// spread reaches targetSpread, capped at maxSeeds.
+func MinimizeSeeds(g *Graph, targetSpread float64, maxSeeds int, cfg AppConfig) (*SeedMinimizeResult, error) {
+	return apps.SeedMinimize(g, targetSpread, maxSeeds, cfg)
+}

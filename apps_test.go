@@ -1,0 +1,67 @@
+package dimm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeOPIMC(t *testing.T) {
+	g := testNetwork(t)
+	res, err := MaximizeInfluenceOPIMC(g, Options{K: 5, Eps: 0.4, Delta: 0.05, Machines: 2, Model: IC, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("got %d seeds", len(res.Seeds))
+	}
+	if res.SpreadLower > res.OptUpper {
+		t.Fatalf("bounds inverted: %v > %v", res.SpreadLower, res.OptUpper)
+	}
+	if res.Ratio < 1-1/math.E-0.4-1e-9 {
+		t.Fatalf("uncertified stop at ratio %v", res.Ratio)
+	}
+}
+
+func TestFacadeTargeted(t *testing.T) {
+	g := testNetwork(t)
+	weights := make([]float64, g.NumNodes())
+	for v := 0; v < g.NumNodes()/2; v++ {
+		weights[v] = 1
+	}
+	res, err := MaximizeTargetedInfluence(g, weights, 3, AppConfig{Machines: 2, Model: IC, Eps: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 || res.EstSpread <= 0 || res.EstSpread > float64(g.NumNodes())/2 {
+		t.Fatalf("bad targeted result: %d seeds, spread %v", len(res.Seeds), res.EstSpread)
+	}
+}
+
+func TestFacadeBudgeted(t *testing.T) {
+	g := testNetwork(t)
+	costs := make([]float64, g.NumNodes())
+	for i := range costs {
+		costs[i] = 2
+	}
+	res, err := MaximizeBudgetedInfluence(g, costs, 10, AppConfig{Machines: 2, Model: IC, Eps: 0.4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) == 0 || len(res.Seeds) > 5 {
+		t.Fatalf("budget 10 at cost 2 allows up to 5 seeds, got %d", len(res.Seeds))
+	}
+}
+
+func TestFacadeMinimizeSeeds(t *testing.T) {
+	g := testNetwork(t)
+	res, err := MinimizeSeeds(g, 40, 100, AppConfig{Machines: 2, Model: IC, Eps: 0.4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("40-node goal unreached on a 400-node graph with 100 seeds allowed")
+	}
+	if res.EstSpread < 40*0.99 {
+		t.Fatalf("estimated spread %v below goal", res.EstSpread)
+	}
+}

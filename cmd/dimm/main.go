@@ -1,0 +1,159 @@
+// Command dimm runs distributed influence maximization (DIIMM) on a graph.
+//
+// Examples:
+//
+//	# 50 seeds on a SNAP edge list, IC model, 8 in-process machines
+//	dimm -graph soc-LiveJournal1.txt -k 50 -machines 8
+//
+//	# synthetic network, LT model, tighter epsilon, verify by simulation
+//	dimm -synth-nodes 100000 -synth-degree 20 -model lt -eps 0.1 -verify 10000
+//
+//	# against TCP workers started with `dimmd -worker` (see cmd/dimmd)
+//	dimm -graph g.bin -workers 127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"dimm"
+	"dimm/internal/cluster"
+	"dimm/internal/core"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dimm: ")
+
+	var (
+		graphPath   = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
+		weights     = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file (file = keep probabilities from the input)")
+		uniformP    = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
+		synthNodes  = flag.Int("synth-nodes", 0, "generate a synthetic network with this many nodes instead of loading one")
+		synthDeg    = flag.Float64("synth-degree", 10, "average degree for the synthetic network")
+		modelName   = flag.String("model", "ic", "diffusion model: ic|lt")
+		algo        = flag.String("algo", "imm", "framework: imm (DIIMM) | opimc (distributed OPIM-C)")
+		k           = flag.Int("k", 50, "number of seeds")
+		eps         = flag.Float64("eps", 0.1, "approximation slack epsilon")
+		delta       = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
+		machines    = flag.Int("machines", 1, "number of in-process machines")
+		workers     = flag.String("workers", "", "comma-separated TCP worker addresses (overrides -machines)")
+		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling (requires weighted-cascade weights)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		verify      = flag.Int("verify", 0, "verify the result with this many Monte-Carlo simulations")
+		showMetrics = flag.Bool("metrics", true, "print the time/traffic breakdown")
+	)
+	flag.Parse()
+
+	model, err := diffusion.ParseModel(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := loadOrGenerate(*graphPath, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges, avg degree %.1f\n", g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	opt := core.Options{
+		K: *k, Eps: *eps, Delta: *delta, Machines: *machines,
+		Model: model, Subset: *subset, Seed: *seed,
+	}
+	if *algo == "opimc" {
+		if *workers != "" {
+			log.Fatal("-algo opimc currently runs with in-process machines only (use -machines)")
+		}
+		res, err := core.RunDOPIMC(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seeds (%d): %v\n", len(res.Seeds), res.Seeds)
+		fmt.Printf("certified: spread >= %.1f, OPT <= %.1f (ratio %.3f) with %d x2 RR sets in %d rounds\n",
+			res.SpreadLower, res.OptUpper, res.Ratio, res.Theta, res.Rounds)
+		if *verify > 0 {
+			mean, se := dimm.EstimateSpread(g, res.Seeds, model, *verify, *seed+1)
+			fmt.Printf("monte-carlo verification: spread %.1f ± %.1f over %d simulations\n", mean, se, *verify)
+		}
+		return
+	}
+	if *algo != "imm" {
+		log.Fatalf("unknown -algo %q (want imm|opimc)", *algo)
+	}
+	var res *core.Result
+	if *workers != "" {
+		addrs := strings.Split(*workers, ",")
+		conns := make([]cluster.Conn, len(addrs))
+		for i, addr := range addrs {
+			conns[i], err = cluster.DialWorker(strings.TrimSpace(addr))
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer conns[i].Close()
+		}
+		cl, err := cluster.New(conns, g.NumNodes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Machines = len(addrs)
+		res, err = core.RunDIIMMOnCluster(g.NumNodes(), cl, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res, err = core.RunDIIMM(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("seeds (%d): %v\n", len(res.Seeds), res.Seeds)
+	fmt.Printf("theta: %d RR sets (total size %d), lower bound %.1f\n",
+		res.Theta, res.Stats.TotalSize, res.LowerBound)
+	fmt.Printf("estimated spread: %.1f (%.2f%% of the network)\n",
+		res.EstSpread, 100*res.EstSpread/float64(g.NumNodes()))
+	if *showMetrics {
+		m := res.Metrics
+		fmt.Printf("wall %.3fs | cluster critical path %.3fs (gen %.3fs, compute %.3fs, master %.3fs, comm %.3fs)\n",
+			res.Wall.Seconds(), m.CriticalPath().Seconds(),
+			m.GenCritical.Seconds(), m.SelCritical.Seconds(), m.MasterCompute.Seconds(), m.Comm.Seconds())
+		fmt.Printf("traffic: %d bytes sent, %d received over %d rounds\n",
+			m.BytesSent, m.BytesReceived, m.Rounds)
+	}
+	if *verify > 0 {
+		mean, se := dimm.EstimateSpread(g, res.Seeds, model, *verify, *seed+1)
+		fmt.Printf("monte-carlo verification: spread %.1f ± %.1f over %d simulations\n", mean, se, *verify)
+	}
+}
+
+func loadOrGenerate(path string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
+	var g *graph.Graph
+	var err error
+	switch {
+	case synthNodes > 0:
+		g, err = graph.GenPreferential(graph.GenConfig{
+			Nodes: synthNodes, AvgDegree: synthDeg, Seed: seed, UniformAttach: 0.15,
+		})
+	case path == "":
+		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
+	case strings.HasSuffix(path, ".bin"):
+		g, err = graph.ReadBinaryFile(path)
+	default:
+		g, err = graph.LoadEdgeListFile(path, undirected)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if weights == "file" {
+		return g, nil
+	}
+	wm, err := graph.ParseWeightModel(weights)
+	if err != nil {
+		return nil, err
+	}
+	return graph.AssignWeights(g, wm, uniformP, seed)
+}

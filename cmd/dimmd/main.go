@@ -1,0 +1,89 @@
+// Command dimmd runs one DIIMM worker as a standalone process, serving
+// the cluster protocol over TCP. It is the multi-process / multi-host
+// deployment path: start one dimmd per machine, then point cmd/dimm (or
+// any program using the library's cluster package) at the addresses.
+//
+//	# on each worker machine (all must load the same graph):
+//	dimmd -graph g.bin -listen :7001 -model ic -seed-index 0
+//	dimmd -graph g.bin -listen :7002 -model ic -seed-index 1
+//
+//	# on the master:
+//	dimm -graph g.bin -workers host1:7001,host2:7002
+//
+// The -seed-index must be distinct per worker: worker i samples the RNG
+// stream derived from (-seed, i), which is what makes a distributed run
+// reproduce the equivalent single-process run bit for bit.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+
+	"dimm/internal/cluster"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dimmd: ")
+
+	var (
+		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
+		weights    = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
+		uniformP   = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
+		listen     = flag.String("listen", ":7001", "address to serve the worker protocol on")
+		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
+		subset     = flag.Bool("subsim", false, "use SUBSIM subset sampling")
+		seed       = flag.Uint64("seed", 1, "base random seed (same on every worker)")
+		seedIndex  = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
+	)
+	flag.Parse()
+
+	if *graphPath == "" {
+		log.Fatal("missing -graph (the worker needs its own copy of the graph)")
+	}
+	model, err := diffusion.ParseModel(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var g *graph.Graph
+	if strings.HasSuffix(*graphPath, ".bin") {
+		g, err = graph.ReadBinaryFile(*graphPath)
+	} else {
+		g, err = graph.LoadEdgeListFile(*graphPath, *undirected)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *weights != "file" {
+		wm, err := graph.ParseWeightModel(*weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if g, err = graph.AssignWeights(g, wm, float32(*uniformP), *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker %d serving %d nodes / %d edges on %s (%v model)",
+		*seedIndex, g.NumNodes(), g.NumEdges(), lis.Addr(), model)
+	cfg := cluster.WorkerConfig{
+		Graph:  g,
+		Model:  model,
+		Subset: *subset,
+		Seed:   cluster.DeriveSeed(*seed, *seedIndex),
+	}
+	if err := cluster.Serve(lis, func() (*cluster.Worker, error) {
+		return cluster.NewWorker(cfg)
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

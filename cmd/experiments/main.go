@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) as text tables. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+//	# everything, quick scale
+//	experiments -run all
+//
+//	# one figure, bigger workload and tighter epsilon
+//	experiments -run fig6 -scale 1.0 -eps 0.1
+//
+// Dataset scale, k, ε and the machine sweeps are flags so the full paper
+// settings (ε = 0.01, k = 50, 64 cores) can be requested on capable
+// hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dimm/internal/bench"
+	"dimm/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,all")
+		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
+		k        = flag.Int("k", 50, "seed set size")
+		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
+		seed     = flag.Uint64("seed", 20220501, "base random seed")
+		clusters = flag.String("cluster-sizes", "1,2,4,8,16", "ℓ sweep for the TCP-cluster figures")
+		cores    = flag.String("core-counts", "1,2,4,8,16,32,64", "ℓ sweep for the multi-core figures")
+		datasets = flag.String("datasets", "", "comma list of datasets (default: all four)")
+		outPath  = flag.String("out", "", "also write the report to this file")
+		report   = flag.String("report", "", "run everything and write an EXPERIMENTS.md-style markdown report to this file")
+		repeats  = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
+		linkRTT  = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
+		linkGbps = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{
+		Out:           out,
+		Scale:         workload.Scale(*scale),
+		K:             *k,
+		Eps:           *eps,
+		Seed:          *seed,
+		ClusterSizes:  parseInts(*clusters),
+		CoreCounts:    parseInts(*cores),
+		Repeats:       *repeats,
+		LinkRTT:       *linkRTT,
+		LinkBandwidth: *linkGbps * 1e9 / 8,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	cfg = cfg.WithDefaults()
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Report(io.MultiWriter(f, os.Stdout)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	step := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	fmt.Fprintf(out, "DIIMM experiment harness — scale %.2f, k=%d, eps=%.2f, seed=%d\n",
+		*scale, *k, *eps, *seed)
+	step("tableIII", cfg.TableIII)
+	step("tableIV", func() error { _, err := cfg.TableIV(); return err })
+	step("fig5", func() error { _, err := cfg.Fig5(); return err })
+	step("fig6", func() error { _, err := cfg.Fig6(); return err })
+	step("fig7", func() error { _, err := cfg.Fig7(); return err })
+	step("fig8", func() error { _, err := cfg.Fig8(); return err })
+	step("fig9", func() error { _, err := cfg.Fig9(); return err })
+	step("fig10", func() error { _, err := cfg.Fig10(); return err })
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			log.Fatalf("bad machine count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}

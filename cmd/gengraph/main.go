@@ -1,0 +1,143 @@
+// Command gengraph generates the synthetic dataset stand-ins of Table III
+// (or custom graphs) and converts between the text and binary formats.
+//
+//	# materialize all four Table III stand-ins at the default scale
+//	gengraph -datasets all -out ./data
+//
+//	# a custom 1M-node power-law network as a binary file
+//	gengraph -nodes 1000000 -degree 20 -out ./data/big.bin
+//
+//	# convert a SNAP edge list to the fast binary format
+//	gengraph -convert soc-LiveJournal1.txt -out lj.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dimm/internal/graph"
+	"dimm/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gengraph: ")
+
+	var (
+		datasets   = flag.String("datasets", "", "comma-separated Table III stand-ins to build, or 'all'")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor (0.25 = tiny, 4 = full)")
+		nodes      = flag.Int("nodes", 0, "custom graph: node count")
+		degree     = flag.Float64("degree", 10, "custom graph: average degree")
+		undirected = flag.Bool("undirected", false, "custom graph: undirected")
+		kind       = flag.String("kind", "pa", "custom graph generator: pa|er|community")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		convert    = flag.String("convert", "", "edge-list file to convert to binary")
+		out        = flag.String("out", ".", "output directory (or file for -nodes/-convert)")
+		stats      = flag.String("stats", "", "print statistics for a graph file and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats != "":
+		var g *graph.Graph
+		var err error
+		if strings.HasSuffix(*stats, ".bin") {
+			g, err = graph.ReadBinaryFile(*stats)
+		} else {
+			g, err = graph.LoadEdgeListFile(*stats, *undirected)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := graph.ComputeStats(g)
+		fmt.Printf("%s:\n", *stats)
+		fmt.Printf("  nodes         %d\n", s.Nodes)
+		fmt.Printf("  edges         %d\n", s.Edges)
+		fmt.Printf("  avg degree    %.2f\n", s.AvgDegree)
+		fmt.Printf("  max out/in    %d / %d\n", s.MaxOutDegree, s.MaxInDegree)
+		fmt.Printf("  out p50/90/99 %d / %d / %d\n", s.P50, s.P90, s.P99)
+		fmt.Printf("  isolated      %d\n", s.Isolated)
+		fmt.Printf("  symmetric     %v\n", s.Symmetric)
+	case *convert != "":
+		g, err := graph.LoadEdgeListFile(*convert, *undirected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graph.WriteBinaryFile(*out, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d nodes, %d edges -> %s\n", *convert, g.NumNodes(), g.NumEdges(), *out)
+
+	case *nodes > 0:
+		cfg := graph.GenConfig{Nodes: *nodes, AvgDegree: *degree, Undirected: *undirected, Seed: *seed, UniformAttach: 0.15}
+		var g *graph.Graph
+		var err error
+		switch *kind {
+		case "pa":
+			g, err = graph.GenPreferential(cfg)
+		case "er":
+			g, err = graph.GenErdosRenyi(cfg)
+		case "community":
+			g, err = graph.GenCommunity(graph.CommunityConfig{GenConfig: cfg, Communities: 16, InFraction: 0.9})
+		default:
+			log.Fatalf("unknown -kind %q (want pa|er|community)", *kind)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeAny(*out, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d nodes, %d edges (avg degree %.1f) -> %s\n",
+			g.NumNodes(), g.NumEdges(), g.AvgDegree(), *out)
+
+	case *datasets != "":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		want := map[string]bool{}
+		all := *datasets == "all"
+		for _, d := range strings.Split(*datasets, ",") {
+			want[strings.TrimSpace(d)] = true
+		}
+		for _, spec := range workload.Specs(workload.Scale(*scale)) {
+			if !all && !want[spec.Name] {
+				continue
+			}
+			g, err := spec.Build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*out, spec.Name+".bin")
+			if err := graph.WriteBinaryFile(path, g); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %9d nodes %10d edges  avg %.1f  -> %s\n",
+				spec.Name, g.NumNodes(), g.NumEdges(), g.AvgDegree(), path)
+		}
+
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -datasets, -nodes or -convert (see -h)")
+		os.Exit(2)
+	}
+}
+
+func writeAny(path string, g *graph.Graph) error {
+	if strings.HasSuffix(path, ".txt") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return graph.WriteEdgeList(f, g)
+	}
+	return graph.WriteBinaryFile(path, g)
+}

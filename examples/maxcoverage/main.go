@@ -1,0 +1,60 @@
+// Maximum coverage: NEWGREEDI vs the set-distributed GREEDI baseline.
+//
+// Reproduces the §IV-C scenario interactively: pick k users whose
+// combined neighborhoods cover the most users. NEWGREEDI returns the
+// centralized greedy's coverage exactly at every machine count; GREEDI's
+// quality decays as the machines multiply — the effect behind Fig. 10(c).
+//
+//	go run ./examples/maxcoverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimm"
+	"dimm/internal/coverage"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := dimm.GenerateSocialNetwork(dimm.SocialNetworkConfig{
+		Nodes: 30000, AvgDegree: 12, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := dimm.NeighborSetSystem(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 50
+	fmt.Printf("instance: pick %d of %d users to cover the most of %d users\n\n",
+		k, sys.NumSets(), sys.NumElements())
+
+	seq, err := sys.SequentialGreedy(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %12s %12s %8s\n", "machines", "NEWGREEDI", "GREEDI", "ratio")
+	for _, machines := range []int{1, 2, 4, 8, 16, 32} {
+		ng, err := dimm.MaxCoverage(sys, k, machines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gd, err := coverage.GreeDi(sys, k, machines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if ng.Coverage != seq.Coverage {
+			marker = "  <-- LEMMA 2 VIOLATION (bug!)"
+		}
+		fmt.Printf("%-10d %12d %12d %8.3f%s\n",
+			machines, ng.Coverage, gd.Coverage,
+			float64(gd.Coverage)/float64(ng.Coverage), marker)
+	}
+	fmt.Printf("\nsequential greedy coverage: %d — NEWGREEDI matches it at every ℓ,\n", seq.Coverage)
+	fmt.Println("while GREEDI trades coverage away as the partition count grows.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: the paper's running example (Fig. 1) end to end.
+//
+// Builds the 4-node graph from the paper, reproduces Example 1's exact
+// influence spreads (3.664 under IC, 3.9 under LT), then runs the full
+// DIIMM pipeline to pick the best seed and verifies it by simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimm"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The social network of Fig. 1: v1 -> v2 (1.0), v1 -> v3 (1.0),
+	// v1 -> v4 (0.4), v2 -> v4 (0.3), v3 -> v4 (0.2). Ids are 0-based.
+	b := graph.NewBuilder(4)
+	for _, e := range []graph.Edge{
+		{From: 0, To: 1, Prob: 1.0},
+		{From: 0, To: 2, Prob: 1.0},
+		{From: 0, To: 3, Prob: 0.4},
+		{From: 1, To: 3, Prob: 0.3},
+		{From: 2, To: 3, Prob: 0.2},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.Prob); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	// Example 1: exact influence spread of {v1} by world enumeration.
+	for _, model := range []dimm.Model{dimm.IC, dimm.LT} {
+		exact, err := diffusion.ExactSpread(g, []uint32{0}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, se := dimm.EstimateSpread(g, []uint32{0}, model, 100000, 7)
+		fmt.Printf("%v model: sigma({v1}) exact = %.4f, Monte-Carlo = %.4f ± %.4f\n",
+			model, exact, mc, se)
+	}
+
+	// Full pipeline: DIIMM across 2 machines picks the k=1 seed set.
+	res, err := dimm.MaximizeInfluence(g, dimm.Options{
+		K: 1, Eps: 0.2, Delta: 0.01, Machines: 2, Model: dimm.IC, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDIIMM (k=1, IC): selected v%d with estimated spread %.3f using %d RR sets\n",
+		res.Seeds[0]+1, res.EstSpread, res.Theta)
+	fmt.Printf("time: generation %.4fs, selection %.4fs, communication %.4fs, traffic %d bytes\n",
+		res.Metrics.GenCritical.Seconds(),
+		(res.Metrics.SelCritical + res.Metrics.MasterCompute).Seconds(),
+		res.Metrics.Comm.Seconds(),
+		res.Metrics.BytesSent+res.Metrics.BytesReceived)
+	if res.Seeds[0] != 0 {
+		log.Fatal("unexpected: the optimal single seed of Fig. 1 is v1")
+	}
+	fmt.Println("\nv1 is indeed the optimal seed — matching the paper's Example 1.")
+}

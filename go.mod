@@ -1,0 +1,3 @@
+module dimm
+
+go 1.22

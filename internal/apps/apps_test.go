@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+)
+
+func wcGraph(t testing.TB, nodes int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenPreferential(graph.GenConfig{Nodes: nodes, AvgDegree: 6, Seed: seed, UniformAttach: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := graph.AssignWeights(g, graph.WeightedCascade, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wc
+}
+
+func common(machines int) Common {
+	return Common{Machines: machines, Model: diffusion.IC, Eps: 0.4, Delta: 0.05, Seed: 9}
+}
+
+func TestTargetedIMValidation(t *testing.T) {
+	g := wcGraph(t, 50, 1)
+	if _, err := TargetedIM(g, make([]float64, 10), 2, common(1)); err == nil {
+		t.Fatal("wrong weight length accepted")
+	}
+	if _, err := TargetedIM(g, make([]float64, 50), 2, common(1)); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	w := make([]float64, 50)
+	w[0] = -1
+	w[1] = 2
+	if _, err := TargetedIM(g, w, 2, common(1)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestTargetedIMFocusesOnTargets: with all weight on one community, the
+// chosen seeds must activate the targeted nodes far better than seeds
+// chosen for the global objective activate them per unit of weight.
+func TestTargetedIMFocusesOnTargets(t *testing.T) {
+	// Two disconnected communities; targets are community B only.
+	gc, err := graph.GenCommunity(graph.CommunityConfig{
+		GenConfig:   graph.GenConfig{Nodes: 400, AvgDegree: 6, Seed: 3},
+		Communities: 2,
+		InFraction:  1.0, // fully disconnected blocks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.AssignWeights(gc, graph.WeightedCascade, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, g.NumNodes())
+	for v := 200; v < 400; v++ {
+		weights[v] = 1
+	}
+	res, err := TargetedIM(g, weights, 5, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every selected seed should live in (and thus only influence) the
+	// targeted block B = nodes 200..399.
+	for _, s := range res.Seeds {
+		if s < 200 {
+			t.Fatalf("targeted IM picked seed %d from the untargeted block (seeds %v)", s, res.Seeds)
+		}
+	}
+	if res.EstSpread <= 0 || res.EstSpread > 200 {
+		t.Fatalf("weighted spread %v outside (0, 200]", res.EstSpread)
+	}
+}
+
+func TestTargetedUniformMatchesPlainObjective(t *testing.T) {
+	// With uniform weights, the targeted objective is the plain spread;
+	// the weighted estimate should be in the same band as a plain run.
+	g := wcGraph(t, 300, 5)
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	res, err := TargetedIM(g, w, 5, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := diffusion.NewSimulator(g, 77)
+	mc, se := sim.Estimate(res.Seeds, diffusion.IC, 20000)
+	if math.Abs(mc-res.EstSpread) > 0.2*res.EstSpread+5*se {
+		t.Fatalf("uniform targeted estimate %v vs simulation %v ± %v", res.EstSpread, mc, se)
+	}
+}
+
+func TestBudgetedIMValidation(t *testing.T) {
+	g := wcGraph(t, 50, 2)
+	costs := make([]float64, 50)
+	for i := range costs {
+		costs[i] = 1
+	}
+	if _, err := BudgetedIM(g, costs[:10], 5, common(1)); err == nil {
+		t.Fatal("wrong cost length accepted")
+	}
+	if _, err := BudgetedIM(g, costs, 0, common(1)); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	bad := append([]float64(nil), costs...)
+	bad[3] = 0
+	if _, err := BudgetedIM(g, bad, 5, common(1)); err == nil {
+		t.Fatal("zero cost accepted")
+	}
+	expensive := append([]float64(nil), costs...)
+	for i := range expensive {
+		expensive[i] = 100
+	}
+	if _, err := BudgetedIM(g, expensive, 5, common(1)); err == nil {
+		t.Fatal("unaffordable instance accepted")
+	}
+}
+
+func TestBudgetedIMRespectsBudget(t *testing.T) {
+	g := wcGraph(t, 300, 7)
+	costs := make([]float64, g.NumNodes())
+	for v := range costs {
+		// Influential (high out-degree) nodes cost more, like real
+		// influencer pricing.
+		costs[v] = 1 + float64(g.OutDegree(uint32(v)))/4
+	}
+	const budget = 20.0
+	res, err := BudgetedIM(g, costs, budget, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spent float64
+	seen := map[uint32]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("seed %d selected twice", s)
+		}
+		seen[s] = true
+		spent += costs[s]
+	}
+	if spent > budget {
+		t.Fatalf("spent %v over budget %v", spent, budget)
+	}
+	if len(res.Seeds) == 0 || res.EstSpread <= 0 {
+		t.Fatal("budgeted run selected nothing")
+	}
+	// A larger budget can only help.
+	res2, err := BudgetedIM(g, costs, 2*budget, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EstSpread < res.EstSpread*0.95 {
+		t.Fatalf("doubling the budget reduced spread: %v -> %v", res.EstSpread, res2.EstSpread)
+	}
+}
+
+func TestSeedMinimizeValidation(t *testing.T) {
+	g := wcGraph(t, 50, 3)
+	if _, err := SeedMinimize(g, 0, 5, common(1)); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := SeedMinimize(g, 1000, 5, common(1)); err == nil {
+		t.Fatal("target above n accepted")
+	}
+	if _, err := SeedMinimize(g, 10, 0, common(1)); err == nil {
+		t.Fatal("maxSeeds=0 accepted")
+	}
+}
+
+func TestSeedMinimizeReachesTarget(t *testing.T) {
+	g := wcGraph(t, 400, 11)
+	const target = 60.0
+	res, err := SeedMinimize(g, target, 50, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("target %v not reached with %d seeds (est %v)", target, len(res.Seeds), res.EstSpread)
+	}
+	if res.EstSpread < target*0.99 {
+		t.Fatalf("estimated spread %v below target %v", res.EstSpread, target)
+	}
+	// Monotonicity: a higher target needs at least as many seeds.
+	res2, err := SeedMinimize(g, 2*target, 100, common(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reached && len(res2.Seeds) < len(res.Seeds) {
+		t.Fatalf("higher target used fewer seeds: %d vs %d", len(res2.Seeds), len(res.Seeds))
+	}
+	// Simulation cross-check: the selected set really spreads that far
+	// (within the sampling band).
+	sim := diffusion.NewSimulator(g, 13)
+	mc, se := sim.Estimate(res.Seeds, diffusion.IC, 20000)
+	if mc+5*se < target*(1-0.25) {
+		t.Fatalf("simulated spread %v ± %v far below target %v", mc, se, target)
+	}
+}
+
+func TestSeedMinimizeUnreachable(t *testing.T) {
+	g := wcGraph(t, 200, 13)
+	// Cap the seeds at 1 and ask for most of the graph: unreachable.
+	res, err := SeedMinimize(g, 150, 1, common(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatalf("1 seed claimed to reach 150 of 200 nodes (est %v)", res.EstSpread)
+	}
+	if len(res.Seeds) != 1 {
+		t.Fatalf("best-effort result should still carry 1 seed, got %d", len(res.Seeds))
+	}
+}
+
+// TestAppsDistributedInvariance: the applications must return the same
+// answer regardless of machine count (they share DIIMM's determinism
+// property because selection state lives entirely at the master).
+func TestAppsDistributedInvariance(t *testing.T) {
+	g := wcGraph(t, 200, 17)
+	costs := make([]float64, g.NumNodes())
+	for i := range costs {
+		costs[i] = 1
+	}
+	// Budgeted IM at one vs. four machines, same seed: spreads in-band.
+	a, err := BudgetedIM(g, costs, 5, common(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BudgetedIM(g, costs, 5, common(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.EstSpread-b.EstSpread) > 0.25*a.EstSpread {
+		t.Fatalf("budgeted spread drifted across machine counts: %v vs %v", a.EstSpread, b.EstSpread)
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"time"
+
+	"dimm/internal/core"
+	"dimm/internal/coverage"
+	"dimm/internal/workload"
+)
+
+// MCRow is one (dataset, ℓ) cell of Fig. 10.
+type MCRow struct {
+	Dataset string
+	Cores   int
+	// NEWGREEDI over the cluster substrate.
+	NGWall     time.Duration
+	NGCritical time.Duration
+	NGComm     time.Duration
+	NGCoverage int64
+	// GREEDI set-distributed baseline.
+	GDWall     time.Duration
+	GDCoverage int64
+	// Sequential greedy baseline (recorded on the Cores == 1 row and
+	// reused for all rows of a dataset).
+	SeqWall     time.Duration
+	SeqCoverage int64
+}
+
+// NGSpeedup is Fig. 10(b)'s NEWGREEDI series: sequential greedy time over
+// NEWGREEDI critical-path time.
+func (r MCRow) NGSpeedup() float64 {
+	if r.NGCritical <= 0 {
+		return 0
+	}
+	return float64(r.SeqWall) / float64(r.NGCritical)
+}
+
+// GDSpeedup is Fig. 10(b)'s GREEDI series (wall-based; GreeDi's stage-1
+// machines run independently, so its modeled parallel time is the slowest
+// machine plus the merge — here approximated by wall/ℓ for stage 1).
+func (r MCRow) GDSpeedup() float64 {
+	if r.GDWall <= 0 {
+		return 0
+	}
+	return float64(r.SeqWall) / (float64(r.GDWall)/float64(r.Cores) + 1)
+}
+
+// CoverageRatio is Fig. 10(c): GREEDI coverage over NEWGREEDI coverage.
+func (r MCRow) CoverageRatio() float64 {
+	if r.NGCoverage == 0 {
+		return 0
+	}
+	return float64(r.GDCoverage) / float64(r.NGCoverage)
+}
+
+// Fig10 reproduces Fig. 10: maximum coverage over each graph's
+// neighbor-set instance — (a) NEWGREEDI running time vs cores,
+// (b) speedups over the sequential greedy, (c) GREEDI/NEWGREEDI coverage.
+func (c Config) Fig10() ([]MCRow, error) {
+	c.printf("\n== Fig 10: maximum coverage, NEWGREEDI vs GREEDI, multi-core ==\n")
+	c.printf("%-16s %5s  %10s %10s %10s %8s %8s %9s %9s %7s\n",
+		"dataset", "cores", "NG-time", "NG-comm", "GD-time", "NG-spd", "GD-spd", "NG-cov", "GD-cov", "ratio")
+	var rows []MCRow
+	for _, spec := range c.specs() {
+		g, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		sys, err := workload.NeighborSetSystem(g)
+		if err != nil {
+			return nil, err
+		}
+		k := c.MaxCoverK
+		if k > sys.NumSets() {
+			k = sys.NumSets()
+		}
+		seqStart := time.Now()
+		seq, err := sys.SequentialGreedy(k)
+		if err != nil {
+			return nil, err
+		}
+		seqWall := time.Since(seqStart)
+		for _, cores := range c.CoreCounts {
+			ng, err := core.NewGreeDiMaxCoverage(sys, k, cores)
+			if err != nil {
+				return nil, err
+			}
+			gdStart := time.Now()
+			gd, err := coverage.GreeDi(sys, k, cores)
+			if err != nil {
+				return nil, err
+			}
+			gdWall := time.Since(gdStart)
+			row := MCRow{
+				Dataset:     spec.Name,
+				Cores:       cores,
+				NGWall:      ng.Wall,
+				NGCritical:  ng.Metrics.CriticalPath(),
+				NGComm:      ng.Metrics.Comm,
+				NGCoverage:  ng.Coverage,
+				GDWall:      gdWall,
+				GDCoverage:  gd.Coverage,
+				SeqWall:     seqWall,
+				SeqCoverage: seq.Coverage,
+			}
+			// Invariant check while we are here: NEWGREEDI must equal the
+			// sequential greedy's coverage exactly (Lemma 2).
+			if row.NGCoverage != seq.Coverage {
+				c.printf("!! NEWGREEDI coverage %d != sequential %d on %s ℓ=%d\n",
+					row.NGCoverage, seq.Coverage, spec.Name, cores)
+			}
+			rows = append(rows, row)
+			c.printf("%-16s %5d  %10s %10s %10s %7.1fx %7.1fx %9s %9s %7.3f\n",
+				row.Dataset, row.Cores,
+				fmtDur(row.NGCritical), fmtDur(row.NGComm), fmtDur(row.GDWall),
+				row.NGSpeedup(), row.GDSpeedup(),
+				fmtCount(row.NGCoverage), fmtCount(row.GDCoverage), row.CoverageRatio())
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,616 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"dimm/internal/coverage"
+	"dimm/internal/rrset"
+)
+
+// Metrics is the per-phase accounting of a cluster session, designed to
+// report the three running-time components of the paper's Fig. 5/6
+// breakdown. On a machine with fewer free cores than workers the raw wall
+// clock cannot show parallel speedup, so in addition to totals we track
+// critical-path times: per request round, the *maximum* worker busy time —
+// which is what an ℓ-machine deployment's wall clock would pay (the
+// paper's Corollary 1 shows per-machine work concentrates at total/ℓ).
+type Metrics struct {
+	// GenCritical sums, over generation rounds, the slowest worker's
+	// sampling time: the cluster wall-clock cost of distributed RIS.
+	GenCritical time.Duration
+	// GenTotal sums all workers' sampling time (the sequential-equivalent
+	// generation cost; GenTotal/GenCritical ≈ parallel efficiency).
+	GenTotal time.Duration
+	// SelCritical and SelTotal are the same aggregates for the map-stage
+	// work of NEWGREEDI (degree sync, relabel, per-seed updates).
+	SelCritical time.Duration
+	SelTotal    time.Duration
+	// MasterCompute is time spent in the master's own computation: the
+	// bucket scan plus delta merging.
+	MasterCompute time.Duration
+	// Comm is time spent moving and coding frames: round wall time minus
+	// the time workers spent computing.
+	Comm time.Duration
+	// BytesSent/BytesReceived count request/response payload bytes across
+	// all connections (master's perspective).
+	BytesSent     int64
+	BytesReceived int64
+	// Rounds counts broadcast round trips.
+	Rounds int64
+}
+
+// add merges worker handler times for one broadcast round into the
+// metrics under the given phase ("gen" or "sel").
+func (m *Metrics) add(phase string, wall time.Duration, handlers []time.Duration) {
+	var sum, max time.Duration
+	for _, h := range handlers {
+		sum += h
+		if h > max {
+			max = h
+		}
+	}
+	switch phase {
+	case "gen":
+		m.GenCritical += max
+		m.GenTotal += sum
+	default:
+		m.SelCritical += max
+		m.SelTotal += sum
+	}
+	if wall > sum {
+		m.Comm += wall - sum
+	}
+	m.Rounds++
+}
+
+// CriticalPath estimates the wall clock of a genuinely parallel
+// deployment: slowest-worker time per phase, plus master compute, plus
+// communication.
+func (m *Metrics) CriticalPath() time.Duration {
+	return m.GenCritical + m.SelCritical + m.MasterCompute + m.Comm
+}
+
+// Cluster is the master's view of ℓ workers. It owns the aggregated
+// baseline coverage vector Δ (Algorithm 1 line 4, maintained incrementally
+// across sampling rounds per §III-C) and exposes a coverage.Oracle so the
+// generic greedy drives the distributed machines unchanged.
+type Cluster struct {
+	conns    []Conn
+	numItems int
+
+	baseDeg []int64 // Δ(v) over all RR sets generated so far
+
+	mergeScratch []int32
+	mergeTouched []uint32
+
+	// sequential issues broadcast calls one worker at a time instead of
+	// concurrently. On a host with fewer free cores than workers the
+	// goroutines would only time-slice anyway, and preemption makes each
+	// worker's wall-clock handler time absorb its neighbors' compute —
+	// wrecking the per-phase accounting. Sequential mode costs nothing in
+	// throughput there and keeps the measurements exact. Defaults to true
+	// when GOMAXPROCS == 1; override with SetSequentialBroadcast.
+	sequential bool
+
+	// Link model: when set, every broadcast round adds a modeled network
+	// delay to the communication metric — the RTT plus the transfer time
+	// of the round's total traffic through the master's NIC. In the
+	// master–slave star of the paper's deployment every request and
+	// response crosses the master's single link, which is why measured
+	// communication grows with ℓ (§IV-B) even though worker links are
+	// parallel. This models the paper's 1 Gbps switch analytically;
+	// unlike ShapedConn it costs no real sleeping and composes correctly
+	// with sequential broadcast.
+	linkRTT time.Duration
+	linkBw  float64 // bytes per second through the master; 0 = infinite
+
+	met Metrics
+}
+
+// New wraps existing worker connections. numItems is the selectable-item
+// space (number of graph nodes, or the set count for max coverage).
+func New(conns []Conn, numItems int) (*Cluster, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	if numItems <= 0 {
+		return nil, fmt.Errorf("cluster: item count must be positive, got %d", numItems)
+	}
+	return &Cluster{
+		conns:        conns,
+		numItems:     numItems,
+		baseDeg:      make([]int64, numItems),
+		mergeScratch: make([]int32, numItems),
+		sequential:   runtime.GOMAXPROCS(0) == 1,
+	}, nil
+}
+
+// SetSequentialBroadcast overrides the broadcast strategy: true calls
+// workers one at a time (exact per-worker timing on oversubscribed
+// hosts), false calls them concurrently (true parallelism when cores or
+// remote machines are available).
+func (c *Cluster) SetSequentialBroadcast(seq bool) { c.sequential = seq }
+
+// SetLinkModel adds a modeled per-round network delay to the
+// communication metric: rtt plus the round's total request+response
+// bytes divided by bytesPerSecond — the master's NIC throughput in a
+// star topology (0 disables the bandwidth term).
+func (c *Cluster) SetLinkModel(rtt time.Duration, bytesPerSecond float64) {
+	c.linkRTT = rtt
+	c.linkBw = bytesPerSecond
+}
+
+// NewLocal builds an in-process cluster of ℓ workers from per-worker
+// configurations (one goroutine per worker).
+func NewLocal(cfgs []WorkerConfig, numItems int) (*Cluster, error) {
+	conns := make([]Conn, len(cfgs))
+	for i, cfg := range cfgs {
+		w, err := NewWorker(cfg)
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns[i] = NewLocalConn(w)
+	}
+	return New(conns, numItems)
+}
+
+// NumWorkers returns ℓ.
+func (c *Cluster) NumWorkers() int { return len(c.conns) }
+
+// Metrics returns a snapshot of the accumulated accounting, folding in
+// the per-connection byte counters.
+func (c *Cluster) Metrics() Metrics {
+	m := c.met
+	for _, conn := range c.conns {
+		s, r := conn.Bytes()
+		m.BytesSent += s
+		m.BytesReceived += r
+	}
+	return m
+}
+
+// Close shuts down all worker connections, keeping the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// broadcast sends reqs[i] to worker i concurrently and returns all
+// responses plus the round's wall time. A nil reqs[i] skips worker i.
+func (c *Cluster) broadcast(reqs [][]byte) ([][]byte, time.Duration, error) {
+	if len(reqs) != len(c.conns) {
+		return nil, 0, fmt.Errorf("cluster: %d requests for %d workers", len(reqs), len(c.conns))
+	}
+	start := time.Now()
+	resps := make([][]byte, len(c.conns))
+	errs := make([]error, len(c.conns))
+	if c.sequential {
+		for i := range c.conns {
+			if reqs[i] == nil {
+				continue
+			}
+			resps[i], errs[i] = c.conns[i].Call(reqs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range c.conns {
+			if reqs[i] == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = c.conns[i].Call(reqs[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, wall, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+	}
+	if c.linkRTT > 0 || c.linkBw > 0 {
+		var totalBytes int
+		for i := range reqs {
+			if reqs[i] == nil {
+				continue
+			}
+			totalBytes += len(reqs[i]) + len(resps[i])
+		}
+		extra := c.linkRTT
+		if c.linkBw > 0 {
+			extra += time.Duration(float64(totalBytes) / c.linkBw * float64(time.Second))
+		}
+		c.met.Comm += extra
+	}
+	return resps, wall, nil
+}
+
+// same builds an identical request for every worker.
+func (c *Cluster) same(req []byte) [][]byte {
+	reqs := make([][]byte, len(c.conns))
+	for i := range reqs {
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// Generate asks the cluster for addTotal more RR sets, split evenly
+// (worker i gets an extra one while distributing the remainder), then
+// pulls the new sets' coverage into the baseline degree vector. It
+// returns aggregate statistics over everything generated so far.
+func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
+	if addTotal < 0 {
+		return GenerateStats{}, fmt.Errorf("cluster: negative generation count %d", addTotal)
+	}
+	l := int64(len(c.conns))
+	per := addTotal / l
+	extra := addTotal % l
+	reqs := make([][]byte, len(c.conns))
+	for i := range reqs {
+		count := per
+		if int64(i) < extra {
+			count++
+		}
+		reqs[i] = encodeGenerateReq(count)
+	}
+	resps, wall, err := c.broadcast(reqs)
+	if err != nil {
+		return GenerateStats{}, err
+	}
+	var agg GenerateStats
+	handlers := make([]time.Duration, len(resps))
+	for i, resp := range resps {
+		nanos, s, err := decodeStatsResp(resp)
+		if err != nil {
+			return GenerateStats{}, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		agg.Count += s.Count
+		agg.TotalSize += s.TotalSize
+		agg.EdgesExamined += s.EdgesExamined
+	}
+	c.met.add("gen", wall, handlers)
+	return agg, c.syncDegrees()
+}
+
+// syncDegrees pulls each worker's coverage deltas for RR sets generated
+// since the previous sync and folds them into the baseline Δ vector.
+func (c *Cluster) syncDegrees() error {
+	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgDegreeDelta)))
+	if err != nil {
+		return err
+	}
+	handlers := make([]time.Duration, len(resps))
+	var buf []DeltaPair
+	start := time.Now()
+	for i, resp := range resps {
+		nanos, pairs, err := decodeDeltasResp(resp, buf)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		buf = pairs
+		handlers[i] = time.Duration(nanos)
+		for _, p := range pairs {
+			if int(p.Node) >= c.numItems {
+				return fmt.Errorf("cluster: worker %d reported node %d outside item space", i, p.Node)
+			}
+			c.baseDeg[p.Node] += int64(p.Dec)
+		}
+	}
+	c.met.MasterCompute += time.Since(start)
+	c.met.add("sel", wall, handlers)
+	return nil
+}
+
+// Ingest loads element lists onto a specific worker (max-coverage
+// workloads); itemCount must be the same for every worker of the cluster.
+func (c *Cluster) Ingest(worker int, lists [][]uint32) error {
+	if worker < 0 || worker >= len(c.conns) {
+		return fmt.Errorf("cluster: no worker %d", worker)
+	}
+	if c.numItems > 1<<32-1 {
+		return fmt.Errorf("cluster: item space too large for the wire format")
+	}
+	reqs := make([][]byte, len(c.conns))
+	reqs[worker] = encodeIngestReq(c.numItems, lists)
+	resps, wall, err := c.broadcast(reqs)
+	if err != nil {
+		return err
+	}
+	nanos, err := decodeAckResp(resps[worker])
+	if err != nil {
+		return err
+	}
+	c.met.add("sel", wall, []time.Duration{time.Duration(nanos)})
+	// Fold the ingested lists' coverage into the baseline.
+	return c.syncDegreesOne(worker)
+}
+
+// syncDegreesOne pulls degree deltas from a single worker.
+func (c *Cluster) syncDegreesOne(worker int) error {
+	reqs := make([][]byte, len(c.conns))
+	reqs[worker] = encodeSimpleReq(msgDegreeDelta)
+	resps, wall, err := c.broadcast(reqs)
+	if err != nil {
+		return err
+	}
+	nanos, pairs, err := decodeDeltasResp(resps[worker], nil)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		if int(p.Node) >= c.numItems {
+			return fmt.Errorf("cluster: worker %d reported node %d outside item space", worker, p.Node)
+		}
+		c.baseDeg[p.Node] += int64(p.Dec)
+	}
+	c.met.add("sel", wall, []time.Duration{time.Duration(nanos)})
+	return nil
+}
+
+// Stats aggregates collection statistics across workers.
+func (c *Cluster) Stats() (GenerateStats, error) {
+	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgStats)))
+	if err != nil {
+		return GenerateStats{}, err
+	}
+	var agg GenerateStats
+	handlers := make([]time.Duration, len(resps))
+	for i, resp := range resps {
+		nanos, s, err := decodeStatsResp(resp)
+		if err != nil {
+			return GenerateStats{}, err
+		}
+		handlers[i] = time.Duration(nanos)
+		agg.Count += s.Count
+		agg.TotalSize += s.TotalSize
+		agg.EdgesExamined += s.EdgesExamined
+	}
+	c.met.add("sel", wall, handlers)
+	return agg, nil
+}
+
+// Reset drops all RR sets cluster-wide and zeroes the baseline degrees.
+func (c *Cluster) Reset() error {
+	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgReset)))
+	if err != nil {
+		return err
+	}
+	handlers := make([]time.Duration, len(resps))
+	for i, resp := range resps {
+		nanos, err := decodeAckResp(resp)
+		if err != nil {
+			return err
+		}
+		handlers[i] = time.Duration(nanos)
+	}
+	c.met.add("sel", wall, handlers)
+	for i := range c.baseDeg {
+		c.baseDeg[i] = 0
+	}
+	return nil
+}
+
+// GatherAll pulls every worker's entire RR collection into one in-memory
+// collection at the master — the naive strategy of Haque and Banerjee
+// that §II-B argues against. It is provided as a measurable baseline:
+// its traffic is Θ(Σ|R|) bytes (see Metrics), versus NEWGREEDI's O(ℓ·k·n)
+// for a complete selection, and its memory footprint is the entire sample
+// set on one machine.
+func (c *Cluster) GatherAll() (*rrset.Collection, error) {
+	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgFetchAll)))
+	if err != nil {
+		return nil, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	union := rrset.NewCollection(1 << 16)
+	start := time.Now()
+	for i, resp := range resps {
+		nanos, rest, err := decodeRespHeader(resp)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		count, rest, err := consumeU32(rest)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < count; j++ {
+			var l uint32
+			if l, rest, err = consumeU32(rest); err != nil {
+				return nil, err
+			}
+			if int(l)*4 > len(rest) {
+				return nil, fmt.Errorf("cluster: worker %d: truncated RR set %d", i, j)
+			}
+			members := make([]uint32, l)
+			for m := uint32(0); m < l; m++ {
+				members[m] = binary.LittleEndian.Uint32(rest[m*4:])
+			}
+			rest = rest[l*4:]
+			union.Append(members, 0)
+		}
+	}
+	c.met.MasterCompute += time.Since(start)
+	c.met.add("sel", wall, handlers)
+	return union, nil
+}
+
+// EstimateSpread estimates σ(seeds) by forward Monte-Carlo simulation
+// spread across the workers (rounds split evenly), the distributed
+// influence-estimation service of §II-B. Returns the sample mean and its
+// standard error.
+func (c *Cluster) EstimateSpread(seeds []uint32, rounds int64) (mean, stderr float64, err error) {
+	if rounds <= 0 {
+		return 0, 0, fmt.Errorf("cluster: round count must be positive, got %d", rounds)
+	}
+	l := int64(len(c.conns))
+	per := rounds / l
+	extra := rounds % l
+	reqs := make([][]byte, len(c.conns))
+	for i := range reqs {
+		r := per
+		if int64(i) < extra {
+			r++
+		}
+		reqs[i] = encodeEstimateReq(seeds, r)
+	}
+	resps, wall, err := c.broadcast(reqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	var totRounds, sum, sumSq int64
+	for i, resp := range resps {
+		nanos, rest, err := decodeRespHeader(resp)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		var r, s, sq int64
+		if r, rest, err = consumeI64(rest); err != nil {
+			return 0, 0, err
+		}
+		if s, rest, err = consumeI64(rest); err != nil {
+			return 0, 0, err
+		}
+		if sq, _, err = consumeI64(rest); err != nil {
+			return 0, 0, err
+		}
+		totRounds += r
+		sum += s
+		sumSq += sq
+	}
+	c.met.add("gen", wall, handlers)
+	if totRounds == 0 {
+		return 0, 0, fmt.Errorf("cluster: no simulation rounds executed")
+	}
+	mean = float64(sum) / float64(totRounds)
+	variance := float64(sumSq)/float64(totRounds) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance / float64(totRounds)), nil
+}
+
+// CoverageOf counts, across all workers, the RR sets covered by the seed
+// set. Used by frameworks that evaluate a fixed solution on a held-out
+// collection (OPIM-C's lower bound).
+func (c *Cluster) CoverageOf(seeds []uint32) (int64, error) {
+	resps, wall, err := c.broadcast(c.same(encodeCoverageReq(seeds)))
+	if err != nil {
+		return 0, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	var total int64
+	for i, resp := range resps {
+		nanos, rest, err := decodeRespHeader(resp)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		covered, _, err := consumeI64(rest)
+		if err != nil {
+			return 0, err
+		}
+		total += covered
+	}
+	c.met.add("sel", wall, handlers)
+	return total, nil
+}
+
+// Oracle returns the element-distributed coverage oracle over this
+// cluster: the NEWGREEDI algorithm is exactly coverage.RunGreedy on it.
+func (c *Cluster) Oracle() coverage.Oracle { return &distOracle{c: c} }
+
+// distOracle adapts the cluster to coverage.Oracle.
+type distOracle struct {
+	c *Cluster
+}
+
+func (o *distOracle) NumItems() int { return o.c.numItems }
+
+// InitialDegrees relabels every RR set uncovered on every worker and
+// hands the greedy a copy of the aggregated baseline vector. The copy
+// matters: the greedy mutates its degree vector, while the baseline must
+// survive for the next NEWGREEDI call at a larger θ.
+func (o *distOracle) InitialDegrees() ([]int64, error) {
+	c := o.c
+	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgBeginSelect)))
+	if err != nil {
+		return nil, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	for i, resp := range resps {
+		nanos, err := decodeAckResp(resp)
+		if err != nil {
+			return nil, err
+		}
+		handlers[i] = time.Duration(nanos)
+	}
+	c.met.add("sel", wall, handlers)
+	deg := make([]int64, len(c.baseDeg))
+	copy(deg, c.baseDeg)
+	return deg, nil
+}
+
+// Select broadcasts the new seed and merges the per-worker delta vectors
+// (Algorithm 1's reduce stage, line 22).
+func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
+	c := o.c
+	resps, wall, err := c.broadcast(c.same(encodeSelectReq(u)))
+	if err != nil {
+		return nil, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	start := time.Now()
+	c.mergeTouched = c.mergeTouched[:0]
+	var buf []DeltaPair
+	for i, resp := range resps {
+		nanos, pairs, err := decodeDeltasResp(resp, buf)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		buf = pairs
+		handlers[i] = time.Duration(nanos)
+		for _, p := range pairs {
+			if int(p.Node) >= c.numItems {
+				return nil, fmt.Errorf("cluster: worker %d delta for node %d outside item space", i, p.Node)
+			}
+			if c.mergeScratch[p.Node] == 0 {
+				c.mergeTouched = append(c.mergeTouched, p.Node)
+			}
+			c.mergeScratch[p.Node] += p.Dec
+		}
+	}
+	out := make([]coverage.Delta, len(c.mergeTouched))
+	for i, v := range c.mergeTouched {
+		out[i] = coverage.Delta{Node: v, Dec: c.mergeScratch[v]}
+		c.mergeScratch[v] = 0
+		// Keep the baseline in sync: these RR sets are now covered for the
+		// remainder of this greedy run only, so the baseline must NOT
+		// change here. Baseline tracks all-uncovered degrees.
+	}
+	c.met.MasterCompute += time.Since(start)
+	c.met.add("sel", wall, handlers)
+	return out, nil
+}
+
+// AddMasterCompute lets the selection driver account bucket-scan time.
+func (c *Cluster) AddMasterCompute(d time.Duration) { c.met.MasterCompute += d }

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"dimm/internal/coverage"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/rrset"
+)
+
+// fig1Graph builds the paper's Fig. 1 example graph (exact spreads known).
+func fig1Graph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	for _, e := range []graph.Edge{
+		{From: 0, To: 1, Prob: 1.0}, {From: 0, To: 2, Prob: 1.0},
+		{From: 0, To: 3, Prob: 0.4}, {From: 1, To: 3, Prob: 0.3}, {From: 2, To: 3, Prob: 0.2},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.Prob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestDistributedEstimate: the cluster's Monte-Carlo estimation service
+// must reproduce Example 1's exact spreads within sampling error, with
+// the rounds split across machines.
+func TestDistributedEstimate(t *testing.T) {
+	g := fig1Graph(t)
+	for _, tc := range []struct {
+		model diffusion.Model
+		want  float64
+	}{{diffusion.IC, 3.664}, {diffusion.LT, 3.9}} {
+		cl := localCluster(t, g, 3, tc.model, 41)
+		mean, se, err := cl.EstimateSpread([]uint32{0}, 90001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-tc.want) > 5*se+0.01 {
+			t.Fatalf("%v: distributed estimate %v ± %v vs exact %v", tc.model, mean, se, tc.want)
+		}
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	g := fig1Graph(t)
+	cl := localCluster(t, g, 2, diffusion.IC, 1)
+	if _, _, err := cl.EstimateSpread([]uint32{0}, 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, _, err := cl.EstimateSpread([]uint32{99}, 10); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+// TestGatherAllMatchesDistributed: the gather-all baseline must select
+// the same seeds as NEWGREEDI over the same samples — its flaw is cost,
+// not correctness.
+func TestGatherAllMatchesDistributed(t *testing.T) {
+	g := testGraph(t)
+	cl := localCluster(t, g, 4, diffusion.IC, 13)
+	if _, err := cl.Generate(500); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := coverage.RunGreedy(cl.Oracle(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := cl.GatherAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.Count() != 500 {
+		t.Fatalf("gathered %d RR sets, want 500", union.Count())
+	}
+	idx, err := rrset.BuildIndex(union, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := coverage.NewLocalOracle(union, idx, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := coverage.RunGreedy(o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.Coverage != dist.Coverage {
+		t.Fatalf("gather-all coverage %d != NEWGREEDI %d", central.Coverage, dist.Coverage)
+	}
+	for i := range central.Seeds {
+		if central.Seeds[i] != dist.Seeds[i] {
+			t.Fatal("gather-all and NEWGREEDI disagree on seeds")
+		}
+	}
+}
+
+// TestGatherAllTrafficBlowup quantifies §II-B's argument: gathering the
+// samples costs traffic proportional to their total size, which dwarfs a
+// full NEWGREEDI selection's delta traffic on the same data.
+func TestGatherAllTrafficBlowup(t *testing.T) {
+	g := testGraph(t)
+
+	// Run NEWGREEDI on one cluster and gather-all on an identical second
+	// cluster, comparing the bytes each moved for selection.
+	measure := func(gather bool) int64 {
+		cl := localCluster(t, g, 4, diffusion.IC, 29)
+		if _, err := cl.Generate(4000); err != nil {
+			t.Fatal(err)
+		}
+		before := cl.Metrics()
+		if gather {
+			if _, err := cl.GatherAll(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := coverage.RunGreedy(cl.Oracle(), 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after := cl.Metrics()
+		return (after.BytesReceived - before.BytesReceived) + (after.BytesSent - before.BytesSent)
+	}
+	gatherBytes := measure(true)
+	selectBytes := measure(false)
+	if gatherBytes < 2*selectBytes {
+		t.Fatalf("gather-all traffic %d not clearly above NEWGREEDI selection traffic %d", gatherBytes, selectBytes)
+	}
+	t.Logf("gather-all moved %d bytes; a full NEWGREEDI selection moved %d (%.1fx saving)",
+		gatherBytes, selectBytes, float64(gatherBytes)/float64(selectBytes))
+}

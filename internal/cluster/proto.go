@@ -1,0 +1,267 @@
+// Package cluster is the distributed substrate that stands in for the
+// paper's MPI deployment: a master–worker message-passing layer with a
+// compact binary wire protocol, an in-process transport (simulating the
+// multi-core server of Fig. 6/7/9/10) and a TCP transport (simulating the
+// machine cluster of Fig. 5/8), plus per-phase time and byte accounting.
+//
+// Both transports move fully encoded frames, so the measured traffic in
+// bytes is the real serialized volume either way — the quantity the
+// paper's communication-cost analysis (§III-D) bounds by O(kn) per worker
+// per NEWGREEDI call.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Request and response type tags.
+const (
+	msgGenerate    = byte(1)  // generate RR sets: req count int64 → resp count, totalSize, edges int64
+	msgDegreeDelta = byte(2)  // coverage of RR sets since last sync → resp delta pairs
+	msgBeginSelect = byte(3)  // relabel all RR sets uncovered (Algorithm 1 line 2)
+	msgSelect      = byte(4)  // map stage for a new seed: req node → resp delta pairs
+	msgStats       = byte(5)  // collection statistics
+	msgReset       = byte(6)  // drop all RR sets (new algorithm run)
+	msgIngest      = byte(7)  // load explicit element lists (max-coverage workloads)
+	msgFetchAll    = byte(8)  // ship the worker's entire RR collection to the master
+	msgEstimate    = byte(9)  // forward Monte-Carlo influence estimation of a seed set
+	msgCoverage    = byte(10) // count RR sets covered by a fixed seed set
+	msgError       = byte(0x7f)
+)
+
+// DeltaPair mirrors coverage.Delta on the wire: a node id and how much its
+// marginal coverage decreases.
+type DeltaPair struct {
+	Node uint32
+	Dec  int32
+}
+
+// GenerateStats is the reply payload of msgGenerate and msgStats.
+type GenerateStats struct {
+	Count         int64 // RR sets now held by the worker
+	TotalSize     int64 // summed cardinality
+	EdgesExamined int64 // cumulative sampler edge probes (Σ w(R))
+}
+
+// --- primitive append/consume helpers -------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func consumeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("cluster: truncated frame (want 4 bytes, have %d)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func consumeI64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("cluster: truncated frame (want 8 bytes, have %d)", len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// --- request encoding ------------------------------------------------------
+
+// encodeGenerateReq builds a generation request for count RR sets.
+func encodeGenerateReq(count int64) []byte {
+	return appendI64([]byte{msgGenerate}, count)
+}
+
+func encodeSimpleReq(tag byte) []byte { return []byte{tag} }
+
+func encodeSelectReq(node uint32) []byte {
+	return appendU32([]byte{msgSelect}, node)
+}
+
+// encodeIngestReq ships explicit element lists (each a set of item ids) to
+// a worker. Layout: itemCount u32, numLists u32, then per list: len u32,
+// members u32*. itemCount fixes the selectable-item space so every worker
+// agrees on it even if its shard misses the highest item ids.
+func encodeIngestReq(itemCount int, lists [][]uint32) []byte {
+	size := 9
+	for _, l := range lists {
+		size += 4 + 4*len(l)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, msgIngest)
+	b = appendU32(b, uint32(itemCount))
+	b = appendU32(b, uint32(len(lists)))
+	for _, l := range lists {
+		b = appendU32(b, uint32(len(l)))
+		for _, v := range l {
+			b = appendU32(b, v)
+		}
+	}
+	return b
+}
+
+// encodeEstimateReq asks a worker to run `rounds` forward Monte-Carlo
+// simulations of the given seed set.
+func encodeEstimateReq(seeds []uint32, rounds int64) []byte {
+	b := make([]byte, 0, 1+8+4+4*len(seeds))
+	b = append(b, msgEstimate)
+	b = appendI64(b, rounds)
+	b = appendU32(b, uint32(len(seeds)))
+	for _, s := range seeds {
+		b = appendU32(b, s)
+	}
+	return b
+}
+
+func decodeEstimateReq(payload []byte) (seeds []uint32, rounds int64, err error) {
+	rounds, rest, err := consumeI64(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	count, rest, err := consumeU32(rest)
+	if err != nil {
+		return nil, 0, err
+	}
+	if int(count)*4 != len(rest) {
+		return nil, 0, fmt.Errorf("cluster: estimate request has %d bytes for %d seeds", len(rest), count)
+	}
+	seeds = make([]uint32, count)
+	for i := range seeds {
+		seeds[i] = binary.LittleEndian.Uint32(rest[i*4:])
+	}
+	return seeds, rounds, nil
+}
+
+// encodeCoverageReq asks a worker how many of its RR sets the given seed
+// set covers (used by frameworks that evaluate fixed solutions on a
+// held-out collection, e.g. OPIM-C's lower-bound estimate).
+func encodeCoverageReq(seeds []uint32) []byte {
+	b := make([]byte, 0, 1+4+4*len(seeds))
+	b = append(b, msgCoverage)
+	b = appendU32(b, uint32(len(seeds)))
+	for _, s := range seeds {
+		b = appendU32(b, s)
+	}
+	return b
+}
+
+func decodeCoverageReq(payload []byte) ([]uint32, error) {
+	count, rest, err := consumeU32(payload)
+	if err != nil {
+		return nil, err
+	}
+	if int(count)*4 != len(rest) {
+		return nil, fmt.Errorf("cluster: coverage request has %d bytes for %d seeds", len(rest), count)
+	}
+	seeds := make([]uint32, count)
+	for i := range seeds {
+		seeds[i] = binary.LittleEndian.Uint32(rest[i*4:])
+	}
+	return seeds, nil
+}
+
+// --- response encoding -----------------------------------------------------
+
+// Responses open with: tag byte, handlerNanos int64. handlerNanos is the
+// worker-side busy time for the request, which the master uses to separate
+// computation from communication in the metrics (DESIGN.md substitution).
+
+func encodeAckResp(handlerNanos int64) []byte {
+	return appendI64([]byte{0}, handlerNanos)
+}
+
+func encodeStatsResp(tag byte, handlerNanos int64, s GenerateStats) []byte {
+	b := make([]byte, 0, 1+8+24)
+	b = append(b, tag)
+	b = appendI64(b, handlerNanos)
+	b = appendI64(b, s.Count)
+	b = appendI64(b, s.TotalSize)
+	b = appendI64(b, s.EdgesExamined)
+	return b
+}
+
+func encodeDeltasResp(handlerNanos int64, pairs []DeltaPair) []byte {
+	b := make([]byte, 0, 1+8+4+8*len(pairs))
+	b = append(b, 0)
+	b = appendI64(b, handlerNanos)
+	b = appendU32(b, uint32(len(pairs)))
+	for _, p := range pairs {
+		b = appendU32(b, p.Node)
+		b = appendU32(b, uint32(p.Dec))
+	}
+	return b
+}
+
+func encodeErrorResp(err error) []byte {
+	msg := err.Error()
+	b := make([]byte, 0, 1+8+len(msg))
+	b = append(b, msgError)
+	b = appendI64(b, 0)
+	return append(b, msg...)
+}
+
+// --- response decoding -----------------------------------------------------
+
+// decodeRespHeader strips the tag and handler-nanos prefix, surfacing
+// worker-side errors as Go errors.
+func decodeRespHeader(b []byte) (handlerNanos int64, rest []byte, err error) {
+	if len(b) < 9 {
+		return 0, nil, fmt.Errorf("cluster: short response (%d bytes)", len(b))
+	}
+	tag := b[0]
+	nanos, rest, err := consumeI64(b[1:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if tag == msgError {
+		return 0, nil, fmt.Errorf("cluster: worker error: %s", rest)
+	}
+	return nanos, rest, nil
+}
+
+func decodeStatsResp(b []byte) (int64, GenerateStats, error) {
+	nanos, rest, err := decodeRespHeader(b)
+	if err != nil {
+		return 0, GenerateStats{}, err
+	}
+	var s GenerateStats
+	if s.Count, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.TotalSize, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.EdgesExamined, _, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	return nanos, s, nil
+}
+
+func decodeDeltasResp(b []byte, buf []DeltaPair) (int64, []DeltaPair, error) {
+	nanos, rest, err := decodeRespHeader(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	count, rest, err := consumeU32(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	if int(count)*8 != len(rest) {
+		return 0, nil, fmt.Errorf("cluster: delta payload %d bytes for %d pairs", len(rest), count)
+	}
+	buf = buf[:0]
+	for i := uint32(0); i < count; i++ {
+		node := binary.LittleEndian.Uint32(rest[i*8:])
+		dec := int32(binary.LittleEndian.Uint32(rest[i*8+4:]))
+		buf = append(buf, DeltaPair{Node: node, Dec: dec})
+	}
+	return nanos, buf, nil
+}
+
+func decodeAckResp(b []byte) (int64, error) {
+	nanos, _, err := decodeRespHeader(b)
+	return nanos, err
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"time"
+)
+
+// ShapedConn wraps a Conn with simulated link characteristics: a fixed
+// per-message latency and a bandwidth cap. The paper's cluster connects
+// machines over a 1 Gbps switch; local loopback is orders of magnitude
+// faster, which would understate communication cost in the Fig. 5/8
+// reproduction. Wrapping each worker connection in
+//
+//	cluster.Shape(conn, 200*time.Microsecond, 1e9/8) // 1 Gbps, 0.2 ms RTT
+//
+// injects the transfer delays such a link would add. Delays are applied
+// by sleeping in the caller's goroutine, so they show up in the measured
+// round wall time (and therefore in Metrics.Comm) exactly like real
+// network time would.
+type ShapedConn struct {
+	inner Conn
+	// latency is added once per round trip (request + response legs
+	// combined — the point-to-point RTT).
+	latency time.Duration
+	// bytesPerSecond caps throughput in each direction; zero = unlimited.
+	bytesPerSecond float64
+}
+
+// Shape wraps conn with the given round-trip latency and per-direction
+// bandwidth (bytes per second; zero disables the cap).
+func Shape(conn Conn, latency time.Duration, bytesPerSecond float64) *ShapedConn {
+	return &ShapedConn{inner: conn, latency: latency, bytesPerSecond: bytesPerSecond}
+}
+
+// Call implements Conn.
+func (s *ShapedConn) Call(req []byte) ([]byte, error) {
+	resp, err := s.inner.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	delay := s.latency
+	if s.bytesPerSecond > 0 {
+		transfer := float64(len(req)+len(resp)) / s.bytesPerSecond
+		delay += time.Duration(transfer * float64(time.Second))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return resp, nil
+}
+
+// Bytes implements Conn.
+func (s *ShapedConn) Bytes() (int64, int64) { return s.inner.Bytes() }
+
+// Close implements Conn.
+func (s *ShapedConn) Close() error { return s.inner.Close() }

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// Conn is a reliable, ordered request/response pipe to one worker. Call
+// blocks until the reply arrives. A Conn serializes its own requests; the
+// master achieves parallelism by calling several Conns concurrently.
+type Conn interface {
+	// Call sends one request frame and returns the worker's response frame.
+	Call(req []byte) ([]byte, error)
+	// Bytes returns the cumulative payload bytes sent and received.
+	Bytes() (sent, received int64)
+	// Close releases the connection; subsequent Calls fail.
+	Close() error
+}
+
+// --- in-process transport ---------------------------------------------------
+
+// localConn runs the worker in a dedicated goroutine and exchanges fully
+// encoded frames over channels. The encode/decode work is identical to the
+// TCP path, so serialized traffic volume is measured faithfully even when
+// "machines" are goroutines on one server (the paper's multi-core setup).
+type localConn struct {
+	reqCh  chan []byte
+	respCh chan []byte
+	done   chan struct{}
+	closed atomic.Bool
+	sent   atomic.Int64
+	recv   atomic.Int64
+}
+
+// NewLocalConn spawns worker w in its own goroutine and returns the
+// master's handle to it.
+func NewLocalConn(w *Worker) Conn {
+	c := &localConn{
+		reqCh:  make(chan []byte),
+		respCh: make(chan []byte),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		for req := range c.reqCh {
+			c.respCh <- w.Handle(req)
+		}
+		close(c.done)
+	}()
+	return c
+}
+
+func (c *localConn) Call(req []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: call on closed local connection")
+	}
+	c.sent.Add(int64(len(req)))
+	c.reqCh <- req
+	resp := <-c.respCh
+	// Copy the frame: the worker may reuse its buffers on the next call.
+	out := make([]byte, len(resp))
+	copy(out, resp)
+	c.recv.Add(int64(len(out)))
+	return out, nil
+}
+
+func (c *localConn) Bytes() (int64, int64) { return c.sent.Load(), c.recv.Load() }
+
+func (c *localConn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.reqCh)
+		<-c.done
+	}
+	return nil
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+// Frames on the wire are length-prefixed: u32 little-endian payload length
+// followed by the payload.
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, maxSize uint32) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size > maxSize {
+		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", size, maxSize)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// maxFrameSize bounds a single message; delta vectors are at most ~8n
+// bytes, so 1 GiB leaves ample headroom while stopping corrupt headers
+// from triggering absurd allocations.
+const maxFrameSize = 1 << 30
+
+// tcpConn is the master's handle to a worker over a socket.
+type tcpConn struct {
+	nc   net.Conn
+	sent int64
+	recv int64
+}
+
+// DialWorker connects to a worker served by Serve at addr.
+func DialWorker(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
+	}
+	if t, ok := nc.(*net.TCPConn); ok {
+		_ = t.SetNoDelay(true)
+	}
+	return &tcpConn{nc: nc}, nil
+}
+
+func (c *tcpConn) Call(req []byte) ([]byte, error) {
+	if err := writeFrame(c.nc, req); err != nil {
+		return nil, fmt.Errorf("cluster: sending request: %w", err)
+	}
+	c.sent += int64(len(req))
+	resp, err := readFrame(c.nc, maxFrameSize)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading response: %w", err)
+	}
+	c.recv += int64(len(resp))
+	return resp, nil
+}
+
+func (c *tcpConn) Bytes() (int64, int64) { return c.sent, c.recv }
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// Serve accepts one master connection after another on lis and serves
+// worker w's protocol until the listener is closed. Each accepted
+// connection is handled to EOF before the next accept, matching the
+// one-master model. newWorker is invoked per connection so state never
+// leaks across masters.
+func Serve(lis net.Listener, newWorker func() (*Worker, error)) error {
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		w, err := newWorker()
+		if err != nil {
+			nc.Close()
+			return err
+		}
+		serveConn(nc, w)
+	}
+}
+
+// StartLoopbackWorker is a convenience for tests, benchmarks and examples:
+// it serves one worker on an ephemeral loopback TCP port and returns the
+// listener together with a dialed master connection. Close both when done.
+func StartLoopbackWorker(cfg WorkerConfig) (net.Listener, Conn, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		_ = Serve(lis, func() (*Worker, error) { return NewWorker(cfg) })
+	}()
+	conn, err := DialWorker(lis.Addr().String())
+	if err != nil {
+		lis.Close()
+		return nil, nil, err
+	}
+	return lis, conn, nil
+}
+
+func serveConn(nc net.Conn, w *Worker) {
+	defer nc.Close()
+	for {
+		req, err := readFrame(nc, maxFrameSize)
+		if err != nil {
+			return // EOF or broken pipe: master went away
+		}
+		if err := writeFrame(nc, w.Handle(req)); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/rrset"
+	"dimm/internal/xrand"
+)
+
+// WorkerConfig describes one slave machine s_i.
+type WorkerConfig struct {
+	Graph  *graph.Graph
+	Model  diffusion.Model
+	Subset bool   // use the SUBSIM subset-sampling generator
+	Seed   uint64 // this machine's RNG stream (derive with xrand.MachineSeed)
+	// RootWeights, when non-nil, draws RR-set roots proportionally to the
+	// given per-node weights (targeted influence maximization).
+	RootWeights []float64
+}
+
+// Worker is the slave-side state of Algorithm 1 and the distributed RIS
+// sampler: it owns a shard R_i of the RR sets, the inverted index I_i, the
+// covered labels, and the scratch for the map stage. A Worker handles one
+// request at a time (the transports serialize per-worker requests).
+type Worker struct {
+	cfg     WorkerConfig
+	sampler *rrset.Sampler
+	sim     *diffusion.Simulator // lazily built for msgEstimate
+	coll    *rrset.Collection
+
+	idx        *rrset.Index // lazily rebuilt when the collection grows
+	covered    []bool
+	decScratch []int32
+	touched    []uint32
+
+	// reported is how many RR sets have had their coverage shipped to the
+	// master via msgDegreeDelta — the traffic optimization of §III-C that
+	// sends only the coverage of *newly generated* RR sets.
+	reported int
+
+	pairBuf []DeltaPair
+}
+
+// NewWorker builds a worker. The graph may be nil for workers that only
+// serve ingested max-coverage lists (no sampling possible then).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	w := &Worker{
+		cfg:  cfg,
+		coll: rrset.NewCollection(1 << 16),
+	}
+	if cfg.Graph != nil {
+		s, err := rrset.NewSampler(cfg.Graph, cfg.Model, cfg.Seed, cfg.Subset)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RootWeights != nil {
+			if err := s.SetRootWeights(cfg.RootWeights); err != nil {
+				return nil, err
+			}
+		}
+		w.sampler = s
+		w.decScratch = make([]int32, cfg.Graph.NumNodes())
+	}
+	return w, nil
+}
+
+// numItems is the size of the selectable-item space.
+func (w *Worker) numItems() int { return len(w.decScratch) }
+
+// Handle processes one request frame and returns the response frame.
+// It never panics on malformed input; errors come back as msgError frames.
+func (w *Worker) Handle(req []byte) []byte {
+	resp, err := w.dispatch(req)
+	if err != nil {
+		return encodeErrorResp(err)
+	}
+	return resp
+}
+
+func (w *Worker) dispatch(req []byte) ([]byte, error) {
+	if len(req) == 0 {
+		return nil, fmt.Errorf("empty request")
+	}
+	start := time.Now()
+	switch req[0] {
+	case msgGenerate:
+		count, _, err := consumeI64(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		if w.sampler == nil {
+			return nil, fmt.Errorf("worker has no graph; cannot generate RR sets")
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("negative generation count %d", count)
+		}
+		if count > maxGenerateBatch {
+			// A corrupt or hostile frame must not be able to wedge the
+			// worker in an effectively unbounded sampling loop; any real
+			// θ split across machines fits comfortably under this cap
+			// (masters needing more issue multiple requests).
+			return nil, fmt.Errorf("generation count %d exceeds the per-request cap %d", count, int64(maxGenerateBatch))
+		}
+		w.sampler.SampleManyInto(w.coll, count)
+		w.idx = nil // collection grew; index is stale
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
+			Count:         int64(w.coll.Count()),
+			TotalSize:     w.coll.TotalSize(),
+			EdgesExamined: w.coll.EdgesExamined(),
+		}), nil
+
+	case msgDegreeDelta:
+		pairs, err := w.degreeDelta()
+		if err != nil {
+			return nil, err
+		}
+		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs), nil
+
+	case msgBeginSelect:
+		if err := w.beginSelection(); err != nil {
+			return nil, err
+		}
+		return encodeAckResp(time.Since(start).Nanoseconds()), nil
+
+	case msgSelect:
+		node, _, err := consumeU32(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := w.selectSeed(node)
+		if err != nil {
+			return nil, err
+		}
+		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs), nil
+
+	case msgStats:
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
+			Count:         int64(w.coll.Count()),
+			TotalSize:     w.coll.TotalSize(),
+			EdgesExamined: w.coll.EdgesExamined(),
+		}), nil
+
+	case msgReset:
+		w.coll = rrset.NewCollection(1 << 16)
+		w.idx = nil
+		w.covered = nil
+		w.reported = 0
+		return encodeAckResp(time.Since(start).Nanoseconds()), nil
+
+	case msgIngest:
+		if err := w.ingest(req[1:]); err != nil {
+			return nil, err
+		}
+		return encodeAckResp(time.Since(start).Nanoseconds()), nil
+
+	case msgFetchAll:
+		return w.fetchAll(start), nil
+
+	case msgEstimate:
+		seeds, rounds, err := decodeEstimateReq(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		return w.estimate(seeds, rounds, start)
+
+	case msgCoverage:
+		seeds, err := decodeCoverageReq(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		covered, err := w.coverageOf(seeds)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, 0, 1+8+8)
+		b = append(b, 0)
+		b = appendI64(b, time.Since(start).Nanoseconds())
+		b = appendI64(b, covered)
+		return b, nil
+
+	default:
+		return nil, fmt.Errorf("unknown request tag %#x", req[0])
+	}
+}
+
+// maxGenerateBatch bounds a single generation request (2^32 RR sets);
+// see the msgGenerate handler.
+const maxGenerateBatch = int64(1) << 32
+
+// maxIngestItemCount bounds the item space a remote master may declare.
+// Untrusted frames must not be able to trigger multi-gigabyte
+// allocations; 2^28 items already allows a billion-edge instance while
+// capping the scratch vector at 1 GiB.
+const maxIngestItemCount = 1 << 28
+
+// ingest loads explicit element lists as this worker's shard. The request
+// carries the global item count so that all workers agree on the item
+// space regardless of which ids their shard happens to contain.
+func (w *Worker) ingest(payload []byte) error {
+	itemCount, rest, err := consumeU32(payload)
+	if err != nil {
+		return err
+	}
+	if itemCount > maxIngestItemCount {
+		return fmt.Errorf("ingest item count %d exceeds the %d limit", itemCount, maxIngestItemCount)
+	}
+	numLists, rest, err := consumeU32(rest)
+	if err != nil {
+		return err
+	}
+	// Do not trust numLists for preallocation: a corrupt frame could
+	// claim billions. Each parsed list is bounds-checked against the
+	// remaining payload, so growth is naturally capped by frame size.
+	lists := make([][]uint32, 0, min(int(numLists), len(rest)/4+1))
+	for i := uint32(0); i < numLists; i++ {
+		var l uint32
+		if l, rest, err = consumeU32(rest); err != nil {
+			return err
+		}
+		if int(l)*4 > len(rest) {
+			return fmt.Errorf("ingest list %d truncated", i)
+		}
+		members := make([]uint32, l)
+		for j := uint32(0); j < l; j++ {
+			members[j] = binary.LittleEndian.Uint32(rest[j*4:])
+			if members[j] >= itemCount {
+				return fmt.Errorf("ingest member %d outside item space %d", members[j], itemCount)
+			}
+		}
+		rest = rest[l*4:]
+		lists = append(lists, members)
+	}
+	for _, members := range lists {
+		w.coll.Append(members, 0)
+	}
+	if need := int(itemCount); need > len(w.decScratch) {
+		grown := make([]int32, need)
+		copy(grown, w.decScratch)
+		w.decScratch = grown
+	}
+	w.idx = nil
+	return nil
+}
+
+// ensureIndex rebuilds the inverted index if the collection grew since the
+// last build. Rebuilds are O(total size); DIIMM doubles the collection per
+// round, so the lifetime rebuild cost is at most ~2x the final size.
+func (w *Worker) ensureIndex() error {
+	if w.idx != nil && w.idx.Count() == w.coll.Count() {
+		return nil
+	}
+	idx, err := rrset.BuildIndex(w.coll, w.numItems())
+	if err != nil {
+		return err
+	}
+	w.idx = idx
+	return nil
+}
+
+// degreeDelta returns coverage counts over RR sets added since the last
+// call (Algorithm 1 line 3 with the §III-C incremental-sync optimization).
+func (w *Worker) degreeDelta() ([]DeltaPair, error) {
+	w.touched = w.touched[:0]
+	for i := w.reported; i < w.coll.Count(); i++ {
+		for _, v := range w.coll.Set(i) {
+			if int(v) >= len(w.decScratch) {
+				return nil, fmt.Errorf("RR member %d outside item space %d", v, len(w.decScratch))
+			}
+			if w.decScratch[v] == 0 {
+				w.touched = append(w.touched, v)
+			}
+			w.decScratch[v]++
+		}
+	}
+	w.reported = w.coll.Count()
+	return w.drainScratch(), nil
+}
+
+// beginSelection relabels every RR set uncovered (Algorithm 1 line 2) and
+// makes sure the index covers the whole collection.
+func (w *Worker) beginSelection() error {
+	if err := w.ensureIndex(); err != nil {
+		return err
+	}
+	if cap(w.covered) >= w.coll.Count() {
+		w.covered = w.covered[:w.coll.Count()]
+		for i := range w.covered {
+			w.covered[i] = false
+		}
+	} else {
+		w.covered = make([]bool, w.coll.Count())
+	}
+	return nil
+}
+
+// selectSeed is the map stage (Algorithm 1 lines 14–21) for new seed u.
+func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
+	if w.idx == nil || len(w.covered) != w.coll.Count() {
+		return nil, fmt.Errorf("select before beginSelection")
+	}
+	if int(u) >= w.numItems() {
+		return nil, fmt.Errorf("seed %d outside item space %d", u, w.numItems())
+	}
+	w.touched = w.touched[:0]
+	for _, j := range w.idx.Covers(u) {
+		if w.covered[j] {
+			continue
+		}
+		w.covered[j] = true
+		for _, v := range w.coll.Set(int(j)) {
+			if w.decScratch[v] == 0 {
+				w.touched = append(w.touched, v)
+			}
+			w.decScratch[v]++
+		}
+	}
+	return w.drainScratch(), nil
+}
+
+// fetchAll serializes this worker's entire RR collection — the gather-all
+// strategy of Haque and Banerjee that §II-B argues against. It exists as
+// a measurable baseline: the response is Θ(total RR size) bytes, versus
+// NEWGREEDI's O(k·n) for a whole selection run.
+func (w *Worker) fetchAll(start time.Time) []byte {
+	size := 1 + 8 + 4 + 4*int(w.coll.TotalSize()) + 4*w.coll.Count()
+	b := make([]byte, 0, size)
+	b = append(b, 0)
+	b = appendI64(b, 0) // handler nanos patched below
+	b = appendU32(b, uint32(w.coll.Count()))
+	for i := 0; i < w.coll.Count(); i++ {
+		set := w.coll.Set(i)
+		b = appendU32(b, uint32(len(set)))
+		for _, v := range set {
+			b = appendU32(b, v)
+		}
+	}
+	binary.LittleEndian.PutUint64(b[1:9], uint64(time.Since(start).Nanoseconds()))
+	return b
+}
+
+// estimate runs forward Monte-Carlo simulations of the seed set on this
+// worker's share of rounds — the distributed influence-estimation service
+// of Lucier et al. / Nguyen et al. discussed in §II-B. The reply carries
+// the sum of cascade sizes so the master can aggregate an exact mean.
+func (w *Worker) estimate(seeds []uint32, rounds int64, start time.Time) ([]byte, error) {
+	if w.cfg.Graph == nil {
+		return nil, fmt.Errorf("worker has no graph; cannot simulate")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("negative round count %d", rounds)
+	}
+	if rounds > maxGenerateBatch {
+		return nil, fmt.Errorf("round count %d exceeds the per-request cap %d", rounds, int64(maxGenerateBatch))
+	}
+	n := w.cfg.Graph.NumNodes()
+	for _, s := range seeds {
+		if int(s) >= n {
+			return nil, fmt.Errorf("seed %d outside graph of %d nodes", s, n)
+		}
+	}
+	if w.sim == nil {
+		w.sim = diffusion.NewSimulator(w.cfg.Graph, w.cfg.Seed^0xE57)
+	}
+	var sum, sumSq int64
+	for i := int64(0); i < rounds; i++ {
+		x := int64(w.sim.RunOnce(seeds, w.cfg.Model))
+		sum += x
+		sumSq += x * x
+	}
+	b := make([]byte, 0, 1+8+24)
+	b = append(b, 0)
+	b = appendI64(b, time.Since(start).Nanoseconds())
+	b = appendI64(b, rounds)
+	b = appendI64(b, sum)
+	b = appendI64(b, sumSq)
+	return b, nil
+}
+
+// coverageOf counts this worker's RR sets covered by the seed set,
+// without disturbing any in-progress selection state (it uses its own
+// temporary marking over RR-set ids).
+func (w *Worker) coverageOf(seeds []uint32) (int64, error) {
+	if err := w.ensureIndex(); err != nil {
+		return 0, err
+	}
+	seen := make(map[uint32]struct{})
+	for _, s := range seeds {
+		if int(s) >= w.numItems() {
+			return 0, fmt.Errorf("seed %d outside item space %d", s, w.numItems())
+		}
+		for _, j := range w.idx.Covers(s) {
+			seen[j] = struct{}{}
+		}
+	}
+	return int64(len(seen)), nil
+}
+
+// drainScratch converts the touched counters into delta pairs and resets
+// the scratch for the next call.
+func (w *Worker) drainScratch() []DeltaPair {
+	w.pairBuf = w.pairBuf[:0]
+	for _, v := range w.touched {
+		w.pairBuf = append(w.pairBuf, DeltaPair{Node: v, Dec: w.decScratch[v]})
+		w.decScratch[v] = 0
+	}
+	return w.pairBuf
+}
+
+// DeriveSeed is a convenience re-export so callers do not import xrand
+// just to seed workers consistently.
+func DeriveSeed(base uint64, machine int) uint64 {
+	return xrand.MachineSeed(base, machine)
+}

@@ -1,0 +1,203 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dimm/internal/xrand"
+)
+
+func randomSystem(r *xrand.Rand, elems, sets, maxSize int) *SetSystem {
+	family := make([][]uint32, sets)
+	for i := range family {
+		size := 1 + r.Intn(maxSize)
+		seen := map[uint32]bool{}
+		for j := 0; j < size; j++ {
+			e := uint32(r.Intn(elems))
+			if !seen[e] {
+				seen[e] = true
+				family[i] = append(family[i], e)
+			}
+		}
+	}
+	s, err := NewSetSystem(elems, family)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestSetSystemBasics(t *testing.T) {
+	s, err := NewSetSystem(5, [][]uint32{{0, 1}, {2}, {}, {3, 4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSets() != 4 || s.NumElements() != 5 || s.TotalSize() != 6 {
+		t.Fatal("set system dimensions wrong")
+	}
+	if got := s.Set(3); len(got) != 3 || got[0] != 3 {
+		t.Fatalf("Set(3) = %v", got)
+	}
+	if _, err := NewSetSystem(2, [][]uint32{{5}}); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+}
+
+func TestSequentialGreedyCoversAll(t *testing.T) {
+	// Three disjoint sets cover the universe; greedy with k=3 must cover
+	// all 6 elements.
+	s, _ := NewSetSystem(6, [][]uint32{{0, 1}, {2, 3}, {4, 5}, {0}, {1}})
+	res, err := s.SequentialGreedy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 6 {
+		t.Fatalf("coverage = %d, want 6", res.Coverage)
+	}
+}
+
+// TestNewGreeDiSetSystemEqualsSequential: the element-partitioned
+// NEWGREEDI run equals the sequential greedy exactly for every machine
+// count (Lemma 2 on the Fig. 10 workload shape).
+func TestNewGreeDiSetSystemEqualsSequential(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randomSystem(r, 5+r.Intn(40), 3+r.Intn(40), 1+r.Intn(6))
+		k := 1 + r.Intn(s.NumSets())
+		want, err := s.SequentialGreedy(k)
+		if err != nil {
+			return false
+		}
+		for _, machines := range []int{1, 2, 4, 9} {
+			got, err := s.NewGreeDiSequential(k, machines)
+			if err != nil {
+				return false
+			}
+			if got.Coverage != want.Coverage {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreeDiNeverBeatsNewGreeDi: the set-distributed baseline's coverage
+// is at most the centralized greedy's on every instance we generate, and
+// it degrades (weakly) as a valid solution: all its seeds are distinct
+// and coverage is consistent with an independent recount.
+func TestGreeDiQuality(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := randomSystem(r, 10+r.Intn(50), 8+r.Intn(50), 1+r.Intn(5))
+		k := 1 + r.Intn(5)
+		for _, machines := range []int{1, 2, 4} {
+			res, err := GreeDi(s, k, machines)
+			if err != nil {
+				return false
+			}
+			if len(res.Seeds) != k {
+				return false
+			}
+			seen := map[uint32]bool{}
+			for _, u := range res.Seeds {
+				if int(u) >= s.NumSets() || seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+			// Recount coverage directly.
+			covered := map[uint32]bool{}
+			for _, u := range res.Seeds {
+				for _, e := range s.Set(int(u)) {
+					covered[e] = true
+				}
+			}
+			if int64(len(covered)) != res.Coverage {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreeDiSingleMachineEqualsGreedy(t *testing.T) {
+	// With one machine, GreeDi stage 1 selects k candidates greedily and
+	// stage 2 re-selects among exactly those, so coverage must equal the
+	// sequential greedy's.
+	r := xrand.New(5)
+	for i := 0; i < 20; i++ {
+		s := randomSystem(r, 30, 40, 4)
+		k := 1 + r.Intn(6)
+		want, err := s.SequentialGreedy(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreeDi(s, k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Coverage != want.Coverage {
+			t.Fatalf("GreeDi(1 machine) coverage %d != greedy %d", got.Coverage, want.Coverage)
+		}
+	}
+}
+
+func TestGreeDiDegradesOnAdversarialPartition(t *testing.T) {
+	// Classic failure mode of set-distributed merging: complementary sets
+	// land on different machines, and per-machine greedy commits to
+	// locally-big but globally redundant sets. GreeDi may occasionally
+	// luck past the plain greedy (greedy is not optimal), but it can
+	// never beat the true optimum, and in aggregate it must trail the
+	// exact greedy — the effect behind Fig. 10(c).
+	r := xrand.New(11)
+	worse, better := 0, 0
+	var ngSum, gdSum int64
+	for i := 0; i < 30; i++ {
+		s := randomSystem(r, 60, 64, 6)
+		k := 4
+		ng, err := s.NewGreeDiSequential(k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd, err := GreeDi(s, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ngSum += ng.Coverage
+		gdSum += gd.Coverage
+		switch {
+		case gd.Coverage < ng.Coverage:
+			worse++
+		case gd.Coverage > ng.Coverage:
+			better++
+		}
+	}
+	if gdSum > ngSum {
+		t.Fatalf("GreeDi aggregate coverage %d exceeds exact greedy %d over 30 instances", gdSum, ngSum)
+	}
+	if worse == 0 {
+		t.Fatalf("GreeDi never degraded across 30 adversarial instances (worse=%d better=%d); Fig. 10(c) effect absent", worse, better)
+	}
+	t.Logf("GreeDi worse on %d, better on %d of 30 instances at 8 machines (aggregate %d vs %d)",
+		worse, better, gdSum, ngSum)
+}
+
+func TestGreeDiValidation(t *testing.T) {
+	s, _ := NewSetSystem(3, [][]uint32{{0}, {1}})
+	if _, err := GreeDi(s, 0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := GreeDi(s, 1, 0); err == nil {
+		t.Fatal("0 machines accepted")
+	}
+	if _, err := GreeDi(s, 3, 2); err == nil {
+		t.Fatal("k > candidate pool accepted")
+	}
+	if _, err := s.ElementOracles(0); err == nil {
+		t.Fatal("0 machines accepted by ElementOracles")
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"fmt"
+
+	"dimm/internal/xrand"
+)
+
+// GenConfig configures the synthetic social-network generators. These
+// generators produce the dataset stand-ins for the paper's Table III: the
+// evaluation's behaviour depends on scale and degree distribution, both of
+// which the generators control, not on the identity of real users.
+type GenConfig struct {
+	Nodes      int     // number of nodes, n
+	AvgDegree  float64 // target average out-degree (m = n*AvgDegree edges)
+	Undirected bool    // emit both directions of every generated edge
+	Seed       uint64  // generator seed
+	// UniformAttach in [0,1]: probability that a preferential-attachment
+	// step picks a uniformly random target instead of a degree-biased one.
+	// Higher values flatten the degree tail. 0.15 approximates the shape
+	// of follower networks.
+	UniformAttach float64
+}
+
+// GenPreferential builds a directed preferential-attachment graph: nodes
+// arrive one at a time and each new node emits edges whose targets are,
+// with probability 1-UniformAttach, the head of a uniformly random
+// existing edge (which is equivalent to degree-proportional choice) and
+// otherwise a uniformly random earlier node. The result has a heavy-tailed
+// in-degree distribution like real OSN follower graphs.
+func GenPreferential(cfg GenConfig) (*Graph, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("graph: preferential generator needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.AvgDegree <= 0 {
+		return nil, fmt.Errorf("graph: average degree must be positive, got %v", cfg.AvgDegree)
+	}
+	if cfg.UniformAttach < 0 || cfg.UniformAttach > 1 {
+		return nil, fmt.Errorf("graph: UniformAttach %v outside [0,1]", cfg.UniformAttach)
+	}
+	r := xrand.New(cfg.Seed)
+	perNode := cfg.AvgDegree
+	if cfg.Undirected {
+		perNode /= 2
+	}
+	targetEdges := int(float64(cfg.Nodes) * perNode)
+	if targetEdges < cfg.Nodes-1 {
+		targetEdges = cfg.Nodes - 1
+	}
+	b := NewBuilderHint(cfg.Nodes, targetEdges*2)
+	// heads records the head of each generated edge; sampling a uniform
+	// element of heads is a degree-proportional draw over in-degrees.
+	heads := make([]uint32, 0, targetEdges)
+	addEdge := func(u, v uint32) error {
+		if err := b.AddEdge(u, v, 1); err != nil {
+			return err
+		}
+		if cfg.Undirected {
+			if err := b.AddEdge(v, u, 1); err != nil {
+				return err
+			}
+		}
+		heads = append(heads, v)
+		return nil
+	}
+	// Seed the process with a short path so early degree-biased draws have
+	// something to land on.
+	if err := addEdge(1, 0); err != nil {
+		return nil, err
+	}
+	edgesLeft := targetEdges - 1
+	// Hand each remaining node its share of edges, distributing the
+	// remainder across the earliest nodes.
+	for u := 2; u < cfg.Nodes; u++ {
+		quota := edgesLeft / (cfg.Nodes - u)
+		if quota < 1 {
+			quota = 1
+		}
+		// A node can have at most u distinct earlier targets.
+		if quota > u {
+			quota = u
+		}
+		seen := map[uint32]bool{uint32(u): true}
+		for q := 0; q < quota && edgesLeft > 0; q++ {
+			var v uint32
+			found := false
+			for try := 0; try < 64; try++ {
+				if r.Float64() < cfg.UniformAttach || try > 16 {
+					v = uint32(r.Intn(u))
+				} else {
+					v = heads[r.Intn(len(heads))]
+				}
+				if !seen[v] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Dense collisions (small u or a crowded neighborhood):
+				// take the first unseen earlier node deterministically.
+				for w := uint32(0); w < uint32(u); w++ {
+					if !seen[w] {
+						v, found = w, true
+						break
+					}
+				}
+				if !found {
+					break // all earlier nodes already targeted
+				}
+			}
+			seen[v] = true
+			if err := addEdge(uint32(u), v); err != nil {
+				return nil, err
+			}
+			edgesLeft--
+		}
+	}
+	return b.Build(), nil
+}
+
+// GenErdosRenyi builds a G(n, m)-style uniform random directed graph with
+// approximately Nodes*AvgDegree edges (duplicates resampled).
+func GenErdosRenyi(cfg GenConfig) (*Graph, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("graph: ER generator needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.AvgDegree <= 0 || cfg.AvgDegree >= float64(cfg.Nodes-1) {
+		return nil, fmt.Errorf("graph: average degree %v infeasible for %d nodes", cfg.AvgDegree, cfg.Nodes)
+	}
+	r := xrand.New(cfg.Seed)
+	perNode := cfg.AvgDegree
+	if cfg.Undirected {
+		perNode /= 2
+	}
+	target := int(float64(cfg.Nodes) * perNode)
+	b := NewBuilderHint(cfg.Nodes, target*2)
+	type pair struct{ u, v uint32 }
+	seen := make(map[pair]bool, target)
+	for len(seen) < target {
+		u := uint32(r.Intn(cfg.Nodes))
+		v := uint32(r.Intn(cfg.Nodes))
+		if u == v || seen[pair{u, v}] {
+			continue
+		}
+		seen[pair{u, v}] = true
+		if err := b.AddEdge(u, v, 1); err != nil {
+			return nil, err
+		}
+		if cfg.Undirected {
+			if err := b.AddEdge(v, u, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// GenCommunity builds a planted-partition (stochastic block model style)
+// graph: nodes are split into Communities groups; each edge's endpoints
+// fall in the same group with probability InFraction, otherwise in two
+// uniform groups. Within the choice of groups, endpoints are uniform.
+// It exercises community structure, the regime where the CMD heuristic
+// from the related work is motivated.
+type CommunityConfig struct {
+	GenConfig
+	Communities int
+	InFraction  float64 // fraction of edges that stay inside a community
+}
+
+// GenCommunity builds the planted-partition graph described above.
+func GenCommunity(cfg CommunityConfig) (*Graph, error) {
+	if cfg.Communities < 1 {
+		return nil, fmt.Errorf("graph: need >= 1 community, got %d", cfg.Communities)
+	}
+	if cfg.InFraction < 0 || cfg.InFraction > 1 {
+		return nil, fmt.Errorf("graph: InFraction %v outside [0,1]", cfg.InFraction)
+	}
+	if cfg.Nodes < 2*cfg.Communities {
+		return nil, fmt.Errorf("graph: %d nodes too few for %d communities", cfg.Nodes, cfg.Communities)
+	}
+	r := xrand.New(cfg.Seed)
+	perNode := cfg.AvgDegree
+	if cfg.Undirected {
+		perNode /= 2
+	}
+	target := int(float64(cfg.Nodes) * perNode)
+	b := NewBuilderHint(cfg.Nodes, target*2)
+	commSize := cfg.Nodes / cfg.Communities
+	nodeIn := func(c int) uint32 {
+		lo := c * commSize
+		hi := lo + commSize
+		if c == cfg.Communities-1 {
+			hi = cfg.Nodes
+		}
+		return uint32(lo + r.Intn(hi-lo))
+	}
+	added := 0
+	for added < target {
+		var u, v uint32
+		if r.Float64() < cfg.InFraction {
+			c := r.Intn(cfg.Communities)
+			u, v = nodeIn(c), nodeIn(c)
+		} else {
+			u, v = nodeIn(r.Intn(cfg.Communities)), nodeIn(r.Intn(cfg.Communities))
+		}
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v, 1); err != nil {
+			return nil, err
+		}
+		if cfg.Undirected {
+			if err := b.AddEdge(v, u, 1); err != nil {
+				return nil, err
+			}
+		}
+		added++
+	}
+	return b.Build(), nil
+}

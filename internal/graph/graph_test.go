@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dimm/internal/xrand"
+)
+
+// fig1Graph builds the 4-node example from the paper's Fig. 1:
+// v1->v2 (1.0), v1->v3 (1.0), v1->v4 (0.4), v2->v4 (0.3), v3->v4 (0.2).
+// Node ids are shifted down by one (v1 = 0).
+func fig1Graph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	edges := []Edge{
+		{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 0.4}, {1, 3, 0.3}, {2, 3, 0.2},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.Prob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := fig1Graph(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("got %d nodes %d edges, want 4/5", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 3 || g.InDegree(3) != 3 {
+		t.Fatalf("degrees wrong: out(0)=%d in(3)=%d", g.OutDegree(0), g.InDegree(3))
+	}
+	adj, prob := g.OutNeighbors(0)
+	if len(adj) != 3 {
+		t.Fatalf("out-neighbors of 0: %v", adj)
+	}
+	seen := map[uint32]float32{}
+	for i, v := range adj {
+		seen[v] = prob[i]
+	}
+	if seen[1] != 1.0 || seen[2] != 1.0 || seen[3] != 0.4 {
+		t.Fatalf("out-edge probabilities wrong: %v", seen)
+	}
+	inAdj, inProb := g.InNeighbors(3)
+	inSeen := map[uint32]float32{}
+	for i, u := range inAdj {
+		inSeen[u] = inProb[i]
+	}
+	if inSeen[0] != 0.4 || inSeen[1] != 0.3 || inSeen[2] != 0.2 {
+		t.Fatalf("in-edge probabilities wrong: %v", inSeen)
+	}
+	if math.Abs(g.InProbSum(3)-0.9) > 1e-6 {
+		t.Fatalf("InProbSum(3) = %v, want 0.9", g.InProbSum(3))
+	}
+	if g.UniformIn() {
+		t.Fatal("fig1 graph has non-uniform in-probabilities but UniformIn() = true")
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0, 0.5); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 3, 0.5); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(0, 1, 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := b.AddEdge(0, 1, -0.1); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if err := b.AddEdge(0, 1, float32(math.NaN())); err == nil {
+		t.Fatal("NaN probability accepted")
+	}
+}
+
+func TestValidateLT(t *testing.T) {
+	g := fig1Graph(t)
+	if err := g.ValidateLT(); err != nil {
+		t.Fatalf("fig1 graph should be a valid LT instance: %v", err)
+	}
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.8)
+	bad := b.Build()
+	if err := bad.ValidateLT(); err == nil {
+		t.Fatal("incoming sum 1.6 should fail ValidateLT")
+	}
+}
+
+func TestWeightedCascade(t *testing.T) {
+	g := fig1Graph(t)
+	wc, err := AssignWeights(g, WeightedCascade, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 has in-degree 3, so each incoming edge gets 1/3.
+	_, probs := wc.InNeighbors(3)
+	for _, p := range probs {
+		if math.Abs(float64(p)-1.0/3) > 1e-6 {
+			t.Fatalf("WC probability = %v, want 1/3", p)
+		}
+	}
+	if !wc.UniformIn() {
+		t.Fatal("WC graph must report uniform incoming probabilities")
+	}
+	if err := wc.ValidateLT(); err != nil {
+		t.Fatalf("WC weights must be LT-valid: %v", err)
+	}
+	for v := uint32(0); v < uint32(wc.NumNodes()); v++ {
+		if wc.InDegree(v) > 0 && math.Abs(wc.InProbSum(v)-1) > 1e-5 {
+			t.Fatalf("WC in-sum of %d = %v, want 1", v, wc.InProbSum(v))
+		}
+	}
+}
+
+func TestUniformAndTrivalencyWeights(t *testing.T) {
+	g := fig1Graph(t)
+	u, err := AssignWeights(g, UniformWeight, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Edges(func(_, _ uint32, p float32) {
+		if p != 0.05 {
+			t.Fatalf("uniform weight = %v", p)
+		}
+	})
+	if _, err := AssignWeights(g, UniformWeight, 0, 0); err == nil {
+		t.Fatal("uniform p=0 accepted")
+	}
+	tri, err := AssignWeights(g, Trivalency, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri.Edges(func(_, _ uint32, p float32) {
+		if p != 0.1 && p != 0.01 && p != 0.001 {
+			t.Fatalf("trivalency weight = %v", p)
+		}
+	})
+}
+
+func TestParseWeightModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want WeightModel
+	}{{"wc", WeightedCascade}, {"weighted-cascade", WeightedCascade}, {"uniform", UniformWeight}, {"trivalency", Trivalency}, {"tri", Trivalency}} {
+		got, err := ParseWeightModel(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseWeightModel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseWeightModel("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if WeightedCascade.String() != "wc" || UniformWeight.String() != "uniform" || Trivalency.String() != "trivalency" {
+		t.Fatal("String() values changed")
+	}
+}
+
+// csrConsistent verifies the in-CSR is the exact transpose of the out-CSR.
+func csrConsistent(t *testing.T, g *Graph) {
+	t.Helper()
+	type key struct {
+		u, v uint32
+		p    float32
+	}
+	fwd := map[key]int{}
+	g.Edges(func(u, v uint32, p float32) { fwd[key{u, v, p}]++ })
+	total := 0
+	for v := uint32(0); v < uint32(g.NumNodes()); v++ {
+		adj, prob := g.InNeighbors(v)
+		for i, u := range adj {
+			k := key{u, v, prob[i]}
+			if fwd[k] == 0 {
+				t.Fatalf("in-edge <%d,%d> missing from out-CSR", u, v)
+			}
+			fwd[k]--
+			total++
+		}
+	}
+	if int64(total) != g.NumEdges() {
+		t.Fatalf("in-CSR has %d edges, out-CSR %d", total, g.NumEdges())
+	}
+}
+
+func TestCSRTransposeProperty(t *testing.T) {
+	// Property test: random edge multisets produce consistent dual CSRs.
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(40)
+		b := NewBuilder(n)
+		edges := r.Intn(120)
+		for i := 0; i < edges; i++ {
+			u := uint32(r.Intn(n))
+			v := uint32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(u, v, float32(r.Float64())); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		// Inline transpose verification (quick.Check has no *testing.T).
+		type key struct {
+			u, v uint32
+			p    float32
+		}
+		fwd := map[key]int{}
+		g.Edges(func(u, v uint32, p float32) { fwd[key{u, v, p}]++ })
+		count := 0
+		for v := uint32(0); v < uint32(g.NumNodes()); v++ {
+			adj, prob := g.InNeighbors(v)
+			for i, u := range adj {
+				k := key{u, v, prob[i]}
+				if fwd[k] == 0 {
+					return false
+				}
+				fwd[k]--
+				count++
+			}
+		}
+		return int64(count) == g.NumEdges()
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenPreferential(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 2000, AvgDegree: 10, Seed: 1, UniformAttach: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	avg := g.AvgDegree()
+	if avg < 7 || avg > 13 {
+		t.Fatalf("average degree %v far from target 10", avg)
+	}
+	csrConsistent(t, g)
+	// Heavy tail: max in-degree should far exceed the average.
+	if g.MaxInDegree() < 5*int(avg) {
+		t.Fatalf("max in-degree %d lacks a heavy tail (avg %v)", g.MaxInDegree(), avg)
+	}
+}
+
+func TestGenPreferentialUndirected(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 500, AvgDegree: 8, Undirected: true, Seed: 2, UniformAttach: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge must appear in both directions.
+	type pair struct{ u, v uint32 }
+	cnt := map[pair]int{}
+	g.Edges(func(u, v uint32, _ float32) { cnt[pair{u, v}]++ })
+	for p, c := range cnt {
+		if cnt[pair{p.v, p.u}] != c {
+			t.Fatalf("edge <%d,%d> not symmetric", p.u, p.v)
+		}
+	}
+}
+
+func TestGenPreferentialDeterministic(t *testing.T) {
+	a, _ := GenPreferential(GenConfig{Nodes: 300, AvgDegree: 6, Seed: 7, UniformAttach: 0.1})
+	b, _ := GenPreferential(GenConfig{Nodes: 300, AvgDegree: 6, Seed: 7, UniformAttach: 0.1})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	var ea, eb []Edge
+	a.Edges(func(u, v uint32, p float32) { ea = append(ea, Edge{u, v, p}) })
+	b.Edges(func(u, v uint32, p float32) { eb = append(eb, Edge{u, v, p}) })
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestGenErdosRenyi(t *testing.T) {
+	g, err := GenErdosRenyi(GenConfig{Nodes: 1000, AvgDegree: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumEdges(); got != 5000 {
+		t.Fatalf("edges = %d, want 5000", got)
+	}
+	csrConsistent(t, g)
+}
+
+func TestGenCommunity(t *testing.T) {
+	g, err := GenCommunity(CommunityConfig{
+		GenConfig:   GenConfig{Nodes: 1000, AvgDegree: 8, Seed: 4},
+		Communities: 10,
+		InFraction:  0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 8000 {
+		t.Fatalf("edges = %d, want 8000", g.NumEdges())
+	}
+	// Most edges should stay within a community block of 100 nodes.
+	inside := 0
+	g.Edges(func(u, v uint32, _ float32) {
+		if u/100 == v/100 {
+			inside++
+		}
+	})
+	frac := float64(inside) / float64(g.NumEdges())
+	if frac < 0.8 {
+		t.Fatalf("only %v of edges inside communities, want >= 0.8", frac)
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := GenPreferential(GenConfig{Nodes: 1, AvgDegree: 2}); err == nil {
+		t.Fatal("1-node PA accepted")
+	}
+	if _, err := GenPreferential(GenConfig{Nodes: 10, AvgDegree: 0}); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	if _, err := GenPreferential(GenConfig{Nodes: 10, AvgDegree: 2, UniformAttach: 2}); err == nil {
+		t.Fatal("UniformAttach=2 accepted")
+	}
+	if _, err := GenErdosRenyi(GenConfig{Nodes: 10, AvgDegree: 20}); err == nil {
+		t.Fatal("infeasible ER degree accepted")
+	}
+	if _, err := GenCommunity(CommunityConfig{GenConfig: GenConfig{Nodes: 10, AvgDegree: 2}, Communities: 0}); err == nil {
+		t.Fatal("0 communities accepted")
+	}
+	if _, err := GenCommunity(CommunityConfig{GenConfig: GenConfig{Nodes: 10, AvgDegree: 2}, Communities: 2, InFraction: 3}); err == nil {
+		t.Fatal("InFraction=3 accepted")
+	}
+}
+
+func TestDegreeHistogramLogBins(t *testing.T) {
+	g := fig1Graph(t)
+	bins := g.DegreeHistogramLogBins()
+	var total int64
+	for _, c := range bins {
+		total += c
+	}
+	if total != int64(g.NumNodes()) {
+		t.Fatalf("histogram covers %d nodes, want %d", total, g.NumNodes())
+	}
+	// Node 0 has out-degree 3 -> bin log2(3)+1 = 2.
+	if bins[2] != 1 {
+		t.Fatalf("bin layout changed: %v", bins)
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	src := `# comment line
+% another comment
+10 20
+20 30 0.5
+
+30 10
+10 10
+`
+	g, err := LoadEdgeList(strings.NewReader(src), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ids remapped: 10->0, 20->1, 30->2. Self-loop 10 10 dropped.
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	adj, prob := g.OutNeighbors(1)
+	if len(adj) != 1 || adj[0] != 2 || prob[0] != 0.5 {
+		t.Fatalf("edge 20->30 not loaded correctly: %v %v", adj, prob)
+	}
+}
+
+func TestLoadEdgeListUndirected(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("undirected load gave %d edges, want 4", g.NumEdges())
+	}
+	if g.OutDegree(1) != 2 || g.InDegree(1) != 2 {
+		t.Fatal("undirected symmetry broken")
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"justone\n",
+		"a b\n",
+		"1 b\n",
+		"1 2 notaprob\n",
+	}
+	for _, src := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(src), false); err == nil {
+			t.Fatalf("input %q accepted", src)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 200, AvgDegree: 5, Seed: 42, UniformAttach: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := AssignWeights(g, WeightedCascade, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, wc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != wc.NumNodes() || back.NumEdges() != wc.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumEdges(), wc.NumNodes(), wc.NumEdges())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 500, AvgDegree: 8, Seed: 5, UniformAttach: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := AssignWeights(g, WeightedCascade, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, wc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != wc.NumNodes() || back.NumEdges() != wc.NumEdges() {
+		t.Fatal("binary round trip changed graph size")
+	}
+	var orig, rt []Edge
+	wc.Edges(func(u, v uint32, p float32) { orig = append(orig, Edge{u, v, p}) })
+	back.Edges(func(u, v uint32, p float32) { rt = append(rt, Edge{u, v, p}) })
+	for i := range orig {
+		if orig[i] != rt[i] {
+			t.Fatalf("edge %d differs after round trip", i)
+		}
+	}
+	if back.UniformIn() != wc.UniformIn() {
+		t.Fatal("UniformIn not preserved")
+	}
+	for v := uint32(0); v < uint32(wc.NumNodes()); v++ {
+		if back.InProbSum(v) != wc.InProbSum(v) {
+			t.Fatalf("InProbSum(%d) differs", v)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero bytes accepted as binary graph")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	g, _ := GenErdosRenyi(GenConfig{Nodes: 100, AvgDegree: 4, Seed: 9})
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip changed edge count")
+	}
+	if _, err := ReadBinaryFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "testing"
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(5)
+	// 0 -> 1, 0 -> 2, 1 -> 2; node 3 isolated; 4 isolated.
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 2, 1)
+	g := b.Build()
+	s := ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 3 {
+		t.Fatalf("dimensions wrong: %+v", s)
+	}
+	if s.MaxOutDegree != 2 || s.MaxInDegree != 2 {
+		t.Fatalf("max degrees wrong: %+v", s)
+	}
+	if s.Isolated != 2 {
+		t.Fatalf("isolated = %d, want 2", s.Isolated)
+	}
+	if s.Symmetric {
+		t.Fatal("directed triangle reported symmetric")
+	}
+	if s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	// Component {0,1,2} (directed chain) and {3,4}; node 5 isolated.
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(2, 1, 1)
+	_ = b.AddEdge(3, 4, 1)
+	g := b.Build()
+	count, largest := WeaklyConnectedComponents(g)
+	if count != 3 || largest != 3 {
+		t.Fatalf("got %d components, largest %d; want 3 and 3", count, largest)
+	}
+}
+
+func TestGiantComponentInStandIns(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 2000, AvgDegree: 8, Seed: 5, UniformAttach: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, largest := WeaklyConnectedComponents(g)
+	if largest < g.NumNodes()*9/10 {
+		t.Fatalf("giant component only %d of %d nodes (%d components)", largest, g.NumNodes(), count)
+	}
+}
+
+func TestComputeStatsSymmetric(t *testing.T) {
+	g, err := GenPreferential(GenConfig{Nodes: 200, AvgDegree: 6, Undirected: true, Seed: 3, UniformAttach: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if !s.Symmetric {
+		t.Fatal("undirected generator output not symmetric")
+	}
+	if s.AvgDegree <= 0 {
+		t.Fatal("avg degree missing")
+	}
+}

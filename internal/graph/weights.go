@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+
+	"dimm/internal/xrand"
+)
+
+// WeightModel selects how edge propagation probabilities are assigned when
+// a graph is loaded or generated from an unweighted edge list.
+type WeightModel int
+
+const (
+	// WeightedCascade sets p(u,v) = 1/indeg(v), the setting used throughout
+	// the paper's evaluation ("the reciprocal of v's in-degree"). It always
+	// satisfies the LT precondition (incoming sums are exactly 1) and makes
+	// every node's incoming probabilities uniform, enabling subset sampling.
+	WeightedCascade WeightModel = iota
+	// UniformWeight sets every edge to a constant p (see WithUniformProb).
+	UniformWeight
+	// Trivalency draws each edge probability uniformly from {0.1, 0.01, 0.001},
+	// a classic benchmark setting from Chen et al. (KDD'10). Note that
+	// trivalency graphs may violate the LT precondition on high in-degree
+	// nodes; ValidateLT will reject them for LT runs.
+	Trivalency
+)
+
+// String implements fmt.Stringer.
+func (w WeightModel) String() string {
+	switch w {
+	case WeightedCascade:
+		return "wc"
+	case UniformWeight:
+		return "uniform"
+	case Trivalency:
+		return "trivalency"
+	default:
+		return fmt.Sprintf("WeightModel(%d)", int(w))
+	}
+}
+
+// ParseWeightModel converts a CLI string to a WeightModel.
+func ParseWeightModel(s string) (WeightModel, error) {
+	switch s {
+	case "wc", "weighted-cascade":
+		return WeightedCascade, nil
+	case "uniform":
+		return UniformWeight, nil
+	case "trivalency", "tri":
+		return Trivalency, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown weight model %q (want wc|uniform|trivalency)", s)
+	}
+}
+
+// AssignWeights builds a new graph with the same topology as g and edge
+// probabilities reassigned per the model. uniformP is used only by
+// UniformWeight; seed only by Trivalency.
+func AssignWeights(g *Graph, model WeightModel, uniformP float32, seed uint64) (*Graph, error) {
+	b := NewBuilderHint(g.NumNodes(), int(g.NumEdges()))
+	var err error
+	switch model {
+	case WeightedCascade:
+		// Probability depends on the head's in-degree, which is already
+		// available from the existing CSR.
+		g.Edges(func(from, to uint32, _ float32) {
+			if err != nil {
+				return
+			}
+			p := float32(1.0) / float32(g.InDegree(to))
+			err = b.AddEdge(from, to, p)
+		})
+	case UniformWeight:
+		if uniformP <= 0 || uniformP > 1 {
+			return nil, fmt.Errorf("graph: uniform probability %v outside (0,1]", uniformP)
+		}
+		g.Edges(func(from, to uint32, _ float32) {
+			if err != nil {
+				return
+			}
+			err = b.AddEdge(from, to, uniformP)
+		})
+	case Trivalency:
+		r := xrand.New(seed)
+		choices := [3]float32{0.1, 0.01, 0.001}
+		g.Edges(func(from, to uint32, _ float32) {
+			if err != nil {
+				return
+			}
+			err = b.AddEdge(from, to, choices[r.Intn(3)])
+		})
+	default:
+		return nil, fmt.Errorf("graph: unknown weight model %v", model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,120 @@
+// Package imm implements the IMM framework of Tang, Shi and Xiao
+// (SIGMOD'15) with the martingale-analysis correction of Chen (2018):
+// the sample-size mathematics (equations (3)–(7) of the reproduced
+// paper) and the two-phase sampling/selection driver (Algorithm 2),
+// written against an Engine interface so the identical driver runs both
+// the sequential baseline and the distributed DIIMM.
+package imm
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogBinom returns ln C(n, k), computed stably as Σ ln((n-k+i)/i).
+func LogBinom(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k > n-k {
+		k = n - k
+	}
+	s := 0.0
+	for i := 1; i <= k; i++ {
+		s += math.Log(float64(n-k+i) / float64(i))
+	}
+	return s
+}
+
+// Params bundles the derived quantities of equations (3)–(7).
+type Params struct {
+	N     int     // number of nodes
+	K     int     // seed set size
+	Eps   float64 // ε, the approximation slack
+	Delta float64 // δ, the failure probability
+
+	EpsPrime   float64 // ε′ = √2·ε (Algorithm 2 line 2)
+	DeltaPrime float64 // δ′, root of ⌈λ*⌉·δ′ = δ (eq. 7, Chen's fix)
+	LambdaP    float64 // λ′ (eq. 3)
+	LambdaStar float64 // λ* (eq. 6)
+}
+
+// lambdaStar evaluates equations (4)–(6) for a candidate δ′.
+func lambdaStar(n, k int, eps, deltaPrime float64) float64 {
+	alpha := math.Sqrt(math.Log(2/deltaPrime) + math.Ln2)
+	beta := math.Sqrt((1 - 1/math.E) * (LogBinom(n, k) + math.Log(2/deltaPrime) + math.Ln2))
+	x := (1-1/math.E)*alpha + beta
+	return 2 * float64(n) * x * x / (eps * eps)
+}
+
+// ComputeParams derives all sample-size parameters. The δ′ of equation
+// (7) is defined implicitly (λ* depends on δ′ and vice versa); a short
+// fixed-point iteration converges because λ* grows only logarithmically
+// in 1/δ′.
+func ComputeParams(n, k int, eps, delta float64) (Params, error) {
+	if n < 2 {
+		return Params{}, fmt.Errorf("imm: need at least 2 nodes, got %d", n)
+	}
+	if k < 1 || k > n {
+		return Params{}, fmt.Errorf("imm: k = %d outside [1, %d]", k, n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return Params{}, fmt.Errorf("imm: epsilon = %v outside (0, 1)", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return Params{}, fmt.Errorf("imm: delta = %v outside (0, 1)", delta)
+	}
+	p := Params{N: n, K: k, Eps: eps, Delta: delta}
+	p.EpsPrime = math.Sqrt2 * eps
+
+	// Fixed point of δ′ = δ / ⌈λ*(δ′)⌉.
+	dp := delta
+	for i := 0; i < 64; i++ {
+		ls := lambdaStar(n, k, eps, dp)
+		next := delta / math.Ceil(ls)
+		if next <= 0 || math.IsNaN(next) || math.IsInf(next, 0) {
+			return Params{}, fmt.Errorf("imm: delta-prime iteration diverged (λ* = %g)", ls)
+		}
+		if math.Abs(next-dp) <= 1e-15*dp {
+			dp = next
+			break
+		}
+		dp = next
+	}
+	p.DeltaPrime = dp
+	p.LambdaStar = lambdaStar(n, k, eps, dp)
+
+	// λ′ (eq. 3) with ε′ and δ′.
+	ep := p.EpsPrime
+	p.LambdaP = (2 + 2.0/3.0*ep) *
+		(LogBinom(n, k) + math.Log(2/dp) + math.Log(math.Log2(float64(n)))) *
+		float64(n) / (ep * ep)
+	if math.IsNaN(p.LambdaP) || p.LambdaP <= 0 {
+		return Params{}, fmt.Errorf("imm: invalid lambda-prime %g", p.LambdaP)
+	}
+	return p, nil
+}
+
+// ThetaAt returns θ_t = λ′ / x for x = n/2^t (Algorithm 2 line 5),
+// rounded up.
+func (p Params) ThetaAt(t int) int64 {
+	x := float64(p.N) / math.Pow(2, float64(t))
+	return int64(math.Ceil(p.LambdaP / x))
+}
+
+// MaxRounds returns the iteration bound log2(n) − 1 of Algorithm 2.
+func (p Params) MaxRounds() int {
+	r := int(math.Log2(float64(p.N))) - 1
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// FinalTheta returns θ = λ* / LB (Algorithm 2 line 11), rounded up.
+func (p Params) FinalTheta(lb float64) int64 {
+	if lb < 1 {
+		lb = 1
+	}
+	return int64(math.Ceil(p.LambdaStar / lb))
+}

@@ -1,0 +1,141 @@
+// Package rrset implements reverse-reachable (RR) set machinery: samplers
+// for the IC and LT models (including the SUBSIM subset-sampling
+// optimization), an arena-backed collection type, and the inverted
+// node→RR-set index used by the maximum-coverage seed selection.
+//
+// A single run of DIIMM materializes millions of RR sets. Storing each as
+// its own []uint32 would create millions of GC-tracked objects — the main
+// scalability hazard of a Go implementation (see DESIGN.md). A Collection
+// therefore packs all member nodes into one flat arena with an offset
+// table, so the garbage collector sees O(1) objects regardless of θ.
+package rrset
+
+import "fmt"
+
+// Collection is an append-only set of RR sets in arena storage.
+// Not safe for concurrent mutation; each machine owns one Collection.
+type Collection struct {
+	nodes []uint32 // concatenated member nodes of all RR sets
+	offs  []int64  // offs[i]..offs[i+1] delimits RR set i; len = Count()+1
+
+	// edgesExamined accumulates, over all generated RR sets, the number of
+	// incoming edges the sampler inspected — the w(R) quantity whose
+	// expectation EPT drives the paper's running-time analysis (§III-D).
+	edgesExamined int64
+}
+
+// NewCollection returns an empty collection with a capacity hint for the
+// expected total member count.
+func NewCollection(sizeHint int) *Collection {
+	c := &Collection{
+		nodes: make([]uint32, 0, sizeHint),
+		offs:  make([]int64, 1, 1024),
+	}
+	return c
+}
+
+// Count returns the number of RR sets stored.
+func (c *Collection) Count() int { return len(c.offs) - 1 }
+
+// TotalSize returns the summed cardinality of all RR sets (the paper's
+// "total size" column in Table IV).
+func (c *Collection) TotalSize() int64 { return int64(len(c.nodes)) }
+
+// EdgesExamined returns the cumulative edge probes spent generating the
+// collection (Σ w(R)).
+func (c *Collection) EdgesExamined() int64 { return c.edgesExamined }
+
+// Set returns the members of RR set i. The slice aliases the arena and
+// must not be modified.
+func (c *Collection) Set(i int) []uint32 {
+	return c.nodes[c.offs[i]:c.offs[i+1]]
+}
+
+// Append adds one RR set with the given members, recording that the
+// sampler examined edgesProbes incoming edges to build it.
+func (c *Collection) Append(members []uint32, edgeProbes int64) {
+	c.nodes = append(c.nodes, members...)
+	c.offs = append(c.offs, int64(len(c.nodes)))
+	c.edgesExamined += edgeProbes
+}
+
+// AvgSize returns the mean RR-set cardinality (the empirical EPS).
+func (c *Collection) AvgSize() float64 {
+	if c.Count() == 0 {
+		return 0
+	}
+	return float64(c.TotalSize()) / float64(c.Count())
+}
+
+// SizeHistogram returns counts of RR-set cardinalities in power-of-two
+// bins: bin 0 holds empty sets, bin i>0 holds sizes in [2^(i-1), 2^i).
+// The long tail of this histogram is what drives both memory and the
+// greedy's update costs, so experiments report it alongside Table IV.
+func (c *Collection) SizeHistogram() []int64 {
+	bins := make([]int64, 34)
+	for i := 0; i < c.Count(); i++ {
+		size := int(c.offs[i+1] - c.offs[i])
+		b := 0
+		for s := size; s > 0; s >>= 1 {
+			b++
+		}
+		if b >= len(bins) {
+			b = len(bins) - 1
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// Index is an inverted node→RR-set index over a Collection prefix: for
+// each node v, the ids of the RR sets that contain v. It is itself a CSR
+// over flat arrays (same GC rationale as Collection). In the paper's
+// notation the list for node v is I_i(v) on machine s_i.
+type Index struct {
+	start []int64
+	ids   []uint32
+	count int // number of RR sets indexed
+}
+
+// BuildIndex constructs the inverted index of the first c.Count() RR sets
+// for a graph of n nodes. RR-set ids must fit in uint32.
+func BuildIndex(c *Collection, n int) (*Index, error) {
+	if c.Count() > 1<<31 {
+		return nil, fmt.Errorf("rrset: %d RR sets exceed the uint32 id space", c.Count())
+	}
+	idx := &Index{
+		start: make([]int64, n+1),
+		ids:   make([]uint32, c.TotalSize()),
+		count: c.Count(),
+	}
+	for _, v := range c.nodes {
+		idx.start[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		idx.start[v+1] += idx.start[v]
+	}
+	pos := make([]int64, n)
+	for i := 0; i < c.Count(); i++ {
+		for _, v := range c.Set(i) {
+			p := idx.start[v] + pos[v]
+			idx.ids[p] = uint32(i)
+			pos[v]++
+		}
+	}
+	return idx, nil
+}
+
+// Covers returns the ids of RR sets containing node v. Aliases internal
+// storage; do not modify.
+func (idx *Index) Covers(v uint32) []uint32 {
+	return idx.ids[idx.start[v]:idx.start[v+1]]
+}
+
+// Degree returns how many indexed RR sets contain v (the initial coverage
+// Δ_i(v) of Algorithm 1 line 3).
+func (idx *Index) Degree(v uint32) int {
+	return int(idx.start[v+1] - idx.start[v])
+}
+
+// Count returns the number of RR sets the index covers.
+func (idx *Index) Count() int { return idx.count }

@@ -1,0 +1,103 @@
+package rrset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary persistence for RR-set collections. Generating θ in the hundreds
+// of millions is the expensive phase of every algorithm here; checkpoints
+// let a long sampling run be reused across experiments (e.g. sweeping k
+// or rerunning selection) without regenerating.
+//
+// Layout: magic, count, totalSize, edgesExamined, then the offset table
+// (count+1 int64) and the node arena (totalSize uint32), little-endian.
+const collectionMagic = 0x52525331 // "RRS1"
+
+// WriteTo serializes the collection. It implements io.WriterTo.
+func (c *Collection) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	for _, v := range []int64{collectionMagic, int64(c.Count()), c.TotalSize(), c.edgesExamined} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	if err := put(c.offs); err != nil {
+		return written, err
+	}
+	if err := put(c.nodes); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// ReadCollection deserializes a collection written by WriteTo.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, count, totalSize, edges int64
+	for _, p := range []*int64{&magic, &count, &totalSize, &edges} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("rrset: reading collection header: %w", err)
+		}
+	}
+	if magic != collectionMagic {
+		return nil, fmt.Errorf("rrset: bad magic %#x (not an RRS1 collection)", magic)
+	}
+	if count < 0 || totalSize < 0 || edges < 0 {
+		return nil, fmt.Errorf("rrset: corrupt collection header (count %d, size %d, edges %d)", count, totalSize, edges)
+	}
+	c := &Collection{
+		nodes:         make([]uint32, totalSize),
+		offs:          make([]int64, count+1),
+		edgesExamined: edges,
+	}
+	if err := binary.Read(br, binary.LittleEndian, c.offs); err != nil {
+		return nil, fmt.Errorf("rrset: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, c.nodes); err != nil {
+		return nil, fmt.Errorf("rrset: reading arena: %w", err)
+	}
+	if c.offs[0] != 0 || c.offs[count] != totalSize {
+		return nil, fmt.Errorf("rrset: corrupt offset table")
+	}
+	for i := int64(0); i < count; i++ {
+		if c.offs[i] > c.offs[i+1] {
+			return nil, fmt.Errorf("rrset: offset table not monotone at %d", i)
+		}
+	}
+	return c, nil
+}
+
+// SaveFile writes the collection to path.
+func (c *Collection) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCollectionFile reads a collection from path.
+func LoadCollectionFile(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCollection(f)
+}

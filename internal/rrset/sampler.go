@@ -1,0 +1,218 @@
+package rrset
+
+import (
+	"fmt"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/xrand"
+)
+
+// Sampler generates random RR sets on one graph (Definition 1 of the
+// paper). It owns reusable scratch state (epoch-stamped visited array,
+// BFS queue), so per-sample allocation is zero once warm. Not safe for
+// concurrent use; each machine owns one Sampler.
+type Sampler struct {
+	g     *graph.Graph
+	r     *xrand.Rand
+	model diffusion.Model
+
+	// subset enables the SUBSIM subset-sampling optimization for IC: when
+	// all of a node's incoming edges share one probability p, the indices
+	// of successful coin flips are generated directly with geometric jumps
+	// instead of flipping every coin. Requires g.UniformIn().
+	subset bool
+
+	// roots, when set, draws RR-set roots from a weighted distribution
+	// instead of uniformly — the targeted-influence-maximization variant,
+	// where Lemma 1 generalizes to the weighted spread
+	// Σ_v w(v)·Pr[S activates v] = W·Pr[S ∩ R ≠ ∅], W = Σ w(v).
+	roots *xrand.Alias
+
+	visited []uint32
+	epoch   uint32
+	queue   []uint32
+}
+
+// NewSampler returns an RR-set sampler for the given model. subset selects
+// the SUBSIM generation strategy and requires per-node-uniform incoming
+// probabilities (true for weighted-cascade graphs).
+func NewSampler(g *graph.Graph, model diffusion.Model, seed uint64, subset bool) (*Sampler, error) {
+	if subset && !g.UniformIn() {
+		return nil, fmt.Errorf("rrset: subset sampling requires per-node-uniform incoming probabilities (weighted-cascade weights)")
+	}
+	if model == diffusion.LT {
+		if err := g.ValidateLT(); err != nil {
+			return nil, err
+		}
+	}
+	return &Sampler{
+		g:       g,
+		r:       xrand.New(seed),
+		model:   model,
+		subset:  subset,
+		visited: make([]uint32, g.NumNodes()),
+		queue:   make([]uint32, 0, 1024),
+	}, nil
+}
+
+// Seed reseeds the sampler's generator (used by tests for reproducibility).
+func (s *Sampler) Seed(seed uint64) { s.r.Seed(seed) }
+
+// SetRootWeights switches the sampler to targeted mode: RR-set roots are
+// drawn proportionally to weights (length n, non-negative, positive sum).
+// Pass nil to return to uniform roots.
+func (s *Sampler) SetRootWeights(weights []float64) error {
+	if weights == nil {
+		s.roots = nil
+		return nil
+	}
+	if len(weights) != s.g.NumNodes() {
+		return fmt.Errorf("rrset: %d root weights for %d nodes", len(weights), s.g.NumNodes())
+	}
+	a, err := xrand.NewAlias(weights)
+	if err != nil {
+		return err
+	}
+	s.roots = a
+	return nil
+}
+
+func (s *Sampler) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// SampleInto generates one random RR set and appends it to c. It returns
+// the cardinality of the new set and the number of incoming edges probed.
+func (s *Sampler) SampleInto(c *Collection) (size int, probes int64) {
+	var root uint32
+	if s.roots != nil {
+		root = uint32(s.roots.Sample(s.r))
+	} else {
+		root = uint32(s.r.Uint32n(uint32(s.g.NumNodes())))
+	}
+	switch s.model {
+	case diffusion.IC:
+		size, probes = s.sampleIC(root)
+	case diffusion.LT:
+		size, probes = s.sampleLT(root)
+	default:
+		panic(fmt.Sprintf("rrset: unknown model %v", s.model))
+	}
+	c.Append(s.queue[:size], probes)
+	return size, probes
+}
+
+// SampleManyInto generates count RR sets into c.
+func (s *Sampler) SampleManyInto(c *Collection, count int64) {
+	for i := int64(0); i < count; i++ {
+		s.SampleInto(c)
+	}
+}
+
+// sampleIC performs the stochastic reverse BFS of §III-A: starting from
+// root, each incoming edge <u',u> is traversed with probability p(u',u).
+// The visited nodes (left in s.queue) form the RR set.
+func (s *Sampler) sampleIC(root uint32) (int, int64) {
+	s.nextEpoch()
+	s.queue = s.queue[:0]
+	s.visited[root] = s.epoch
+	s.queue = append(s.queue, root)
+	var probes int64
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		adj, prob := s.g.InNeighbors(u)
+		if len(adj) == 0 {
+			continue
+		}
+		if s.subset {
+			// All incoming probabilities of u are equal; jump straight to
+			// the successful flips. Expected probes = 1 + d·p instead of d.
+			p := float64(prob[0])
+			if p > 0 {
+				i := s.r.Geometric(p)
+				for i < len(adj) {
+					probes++
+					up := adj[i]
+					if s.visited[up] != s.epoch {
+						s.visited[up] = s.epoch
+						s.queue = append(s.queue, up)
+					}
+					i += 1 + s.r.Geometric(p)
+				}
+			}
+			probes++ // the terminating jump
+			continue
+		}
+		for i, up := range adj {
+			probes++
+			if s.visited[up] == s.epoch {
+				continue
+			}
+			if s.r.Float64() < float64(prob[i]) {
+				s.visited[up] = s.epoch
+				s.queue = append(s.queue, up)
+			}
+		}
+	}
+	return len(s.queue), probes
+}
+
+// sampleLT performs the reverse random walk of §III-A: from the current
+// node u the walk stops with probability 1 − Σ p(·,u), otherwise moves to
+// an in-neighbor drawn proportionally to its edge weight; it also stops on
+// revisiting a node. The visited nodes form the RR set.
+func (s *Sampler) sampleLT(root uint32) (int, int64) {
+	s.nextEpoch()
+	s.queue = s.queue[:0]
+	s.visited[root] = s.epoch
+	s.queue = append(s.queue, root)
+	var probes int64
+	u := root
+	for {
+		adj, prob := s.g.InNeighbors(u)
+		if len(adj) == 0 {
+			break
+		}
+		sum := s.g.InProbSum(u)
+		x := s.r.Float64()
+		if x >= sum {
+			probes++
+			break
+		}
+		var next uint32
+		if s.g.UniformIn() {
+			// Equal weights: the proportional draw is uniform.
+			next = adj[int(x/sum*float64(len(adj)))%len(adj)]
+			probes++
+		} else {
+			acc := 0.0
+			picked := false
+			for i, up := range adj {
+				probes++
+				acc += float64(prob[i])
+				if x < acc {
+					next = up
+					picked = true
+					break
+				}
+			}
+			if !picked { // float round-off at the boundary
+				next = adj[len(adj)-1]
+			}
+		}
+		if s.visited[next] == s.epoch {
+			break
+		}
+		s.visited[next] = s.epoch
+		s.queue = append(s.queue, next)
+		u = next
+	}
+	return len(s.queue), probes
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"dimm/internal/graph"
+)
+
+func TestSpecsShape(t *testing.T) {
+	specs := Specs(ScaleTiny)
+	if len(specs) != 4 {
+		t.Fatalf("want 4 Table III stand-ins, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate dataset name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.Nodes < 2 || s.AvgDegree <= 0 {
+			t.Fatalf("%s has degenerate dimensions: %+v", s.Name, s)
+		}
+	}
+	if !names["facebook-sim"] || !names["twitter-sim"] {
+		t.Fatal("expected facebook-sim and twitter-sim stand-ins")
+	}
+	// Scaling multiplies node counts.
+	big := Specs(ScaleSmall)
+	for i := range specs {
+		if big[i].Nodes <= specs[i].Nodes {
+			t.Fatalf("%s did not scale: %d vs %d", specs[i].Name, big[i].Nodes, specs[i].Nodes)
+		}
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	spec := Specs(ScaleTiny)[0] // facebook-sim
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != spec.Nodes {
+		t.Fatalf("built %d nodes, want %d", g.NumNodes(), spec.Nodes)
+	}
+	// Stand-ins carry weighted-cascade probabilities and satisfy LT.
+	if !g.UniformIn() {
+		t.Fatal("stand-in should have WC (uniform-in) weights")
+	}
+	if err := g.ValidateLT(); err != nil {
+		t.Fatal(err)
+	}
+	// Facebook is undirected: edge count is even and symmetric.
+	if spec.Undirected {
+		if g.NumEdges()%2 != 0 {
+			t.Fatal("undirected stand-in has odd edge count")
+		}
+	}
+	if spec.TypeString() != "Undirected" {
+		t.Fatalf("facebook-sim type = %s", spec.TypeString())
+	}
+	if Specs(ScaleTiny)[1].TypeString() != "Directed" {
+		t.Fatal("gplus-sim should be directed")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Specs(ScaleTiny)[1]
+	a, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("dataset stand-in not deterministic")
+	}
+}
+
+func TestNeighborSetSystem(t *testing.T) {
+	b := graph.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(3, 2, 1)
+	g := b.Build()
+	sys, err := NeighborSetSystem(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumSets() != 4 || sys.NumElements() != 4 {
+		t.Fatal("dimensions wrong")
+	}
+	if sys.TotalSize() != g.NumEdges() {
+		t.Fatalf("total size %d != edge count %d", sys.TotalSize(), g.NumEdges())
+	}
+	if got := sys.Set(0); len(got) != 2 {
+		t.Fatalf("set of node 0 = %v", got)
+	}
+	// Picking node 0 and 3 covers {1, 2}.
+	res, err := sys.SequentialGreedy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 2 {
+		t.Fatalf("coverage = %d, want 2", res.Coverage)
+	}
+}

@@ -1,0 +1,122 @@
+package xrand
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cumulative samples an index from a discrete distribution given its
+// cumulative weight prefix. cum must be non-decreasing with cum[len-1] > 0;
+// entry i is the total weight of items 0..i. Sampling is by binary search,
+// O(log n) per draw with zero precomputation beyond the prefix itself.
+//
+// It is used for the LT reverse random walk: at node v the next in-neighbor
+// is drawn with probability proportional to the edge weight p(u,v), which is
+// exactly a draw from the cumulative prefix of v's in-edge weights.
+type Cumulative struct {
+	cum []float64
+}
+
+// NewCumulative builds a sampler over weights. All weights must be
+// non-negative and at least one must be positive.
+func NewCumulative(weights []float64) (*Cumulative, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("xrand: cumulative sampler needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("xrand: negative weight %g at index %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("xrand: all weights are zero")
+	}
+	return &Cumulative{cum: cum}, nil
+}
+
+// Total returns the sum of all weights.
+func (c *Cumulative) Total() float64 { return c.cum[len(c.cum)-1] }
+
+// Sample draws an index with probability weight[i]/Total().
+func (c *Cumulative) Sample(r *Rand) int {
+	x := r.Float64() * c.Total()
+	return sort.SearchFloat64s(c.cum, x)
+}
+
+// Alias is Walker's alias method: O(1) sampling from a fixed discrete
+// distribution after O(n) preprocessing. Used where the same distribution is
+// sampled many times, e.g. drawing RR-set roots proportional to a node
+// weight vector in targeted variants.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over weights (non-negative, positive sum).
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("xrand: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("xrand: negative weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("xrand: all weights are zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Sample draws an index from the table's distribution in O(1).
+func (a *Alias) Sample(r *Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,149 @@
+// Package xrand provides fast, deterministic pseudo-random number
+// generation for the samplers in this repository.
+//
+// The influence-maximization pipeline draws billions of random numbers
+// (one per edge inspected during reverse-reachable-set generation), so the
+// generator must be cheap, allocation-free and seedable per machine so that
+// distributed runs are reproducible. We implement xoshiro256++ seeded
+// through SplitMix64, the combination recommended by Blackman and Vigna.
+// math/rand is avoided on the hot path: its global lock and interface
+// indirection are measurable at this call volume.
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand a single 64-bit seed into the 256-bit xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256++ pseudo-random generator. The zero value is not
+// usable; construct with New. Rand is not safe for concurrent use; each
+// machine (worker) owns its own instance.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator deterministically derived from seed.
+// Distinct seeds yield statistically independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
+	// A xoshiro state of all zeros is a fixed point; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Uint32n returns a uniform value in [0, n). n must be positive.
+// It uses Lemire's multiply-shift rejection method, which avoids the
+// modulo instruction on the hot path.
+func (r *Rand) Uint32n(n uint32) uint32 {
+	v := uint32(r.Uint64())
+	prod := uint64(v) * uint64(n)
+	low := uint32(prod)
+	if low < n {
+		thresh := -n % n
+		for low < thresh {
+			v = uint32(r.Uint64())
+			prod = uint64(v) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return uint32(prod >> 32)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive and fit in 32 bits.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint32n(uint32(n)))
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success of a
+// Bernoulli(p) sequence, i.e. a sample of the Geometric(p) distribution on
+// {0, 1, 2, ...}. It is the core of subset sampling (SUBSIM): to visit the
+// success positions of d independent coins of bias p, jump ahead by
+// Geometric(p)+1 positions at a time instead of flipping d coins.
+// p must satisfy 0 < p <= 1.
+func (r *Rand) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard against u == 0, for which Log is -Inf and the floor overflows.
+	for u == 0 {
+		u = r.Float64()
+	}
+	g := math.Floor(math.Log(u) / math.Log(1-p))
+	if g > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(g)
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle permutes xs uniformly at random (Fisher–Yates).
+func (r *Rand) Shuffle(xs []uint32) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// MachineSeed derives the seed for machine index i from a run-level base
+// seed. A SplitMix64 step decorrelates adjacent machine streams far better
+// than base+i would.
+func MachineSeed(base uint64, machine int) uint64 {
+	s := base ^ (0x5851f42d4c957f2d * (uint64(machine) + 1))
+	return splitMix64(&s)
+}

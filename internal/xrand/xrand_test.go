@@ -1,0 +1,297 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1000 outputs; streams are correlated", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(n uint32, steps uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < int(steps); i++ {
+			if v := r.Uint32n(n); v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32nUniform(t *testing.T) {
+	r := New(9)
+	const buckets = 10
+	const draws = 500000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint32n(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d: count %d deviates from %v by more than 5 sigma", b, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(13)
+	const draws = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency = %v", p, got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		mean := sum / draws
+		want := (1 - p) / p
+		if math.Abs(mean-want) > 0.05*math.Max(want, 1) {
+			t.Fatalf("Geometric(%v) mean = %v, want %v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(23)
+	xs := make([]uint32, 100)
+	for i := range xs {
+		xs[i] = uint32(i)
+	}
+	r.Shuffle(xs)
+	seen := make(map[uint32]bool, len(xs))
+	for _, x := range xs {
+		if x >= 100 || seen[x] {
+			t.Fatalf("shuffle broke the multiset: %v", xs)
+		}
+		seen[x] = true
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(29)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make(map[int]bool)
+	for _, x := range out {
+		if x < 0 || x >= 50 || seen[x] {
+			t.Fatalf("Perm produced invalid permutation: %v", out)
+		}
+		seen[x] = true
+	}
+}
+
+func TestMachineSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]int)
+	for m := 0; m < 1000; m++ {
+		s := MachineSeed(12345, m)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("machines %d and %d share seed %d", prev, m, s)
+		}
+		seen[s] = m
+	}
+}
+
+func TestCumulativeSampler(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	c, err := NewCumulative(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(31)
+	const draws = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[c.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if w == 0 {
+			continue
+		}
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d: %d draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestCumulativeErrors(t *testing.T) {
+	if _, err := NewCumulative(nil); err == nil {
+		t.Fatal("want error for empty weights")
+	}
+	if _, err := NewCumulative([]float64{0, 0}); err == nil {
+		t.Fatal("want error for all-zero weights")
+	}
+	if _, err := NewCumulative([]float64{1, -1}); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+}
+
+func TestAliasSampler(t *testing.T) {
+	weights := []float64{5, 1, 0, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(37)
+	const draws = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d: %d draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Fatal("want error for empty weights")
+	}
+	if _, err := NewAlias([]float64{0}); err == nil {
+		t.Fatal("want error for zero total")
+	}
+	if _, err := NewAlias([]float64{-1, 2}); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+}
+
+func TestAliasMatchesCumulative(t *testing.T) {
+	// Property: alias and cumulative samplers agree on the distribution.
+	weights := []float64{2, 7, 1, 1, 9, 0.5}
+	a, _ := NewAlias(weights)
+	c, _ := NewCumulative(weights)
+	ra, rc := New(41), New(43)
+	const draws = 400000
+	ca := make([]float64, len(weights))
+	cc := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		ca[a.Sample(ra)]++
+		cc[c.Sample(rc)]++
+	}
+	for i := range weights {
+		diff := math.Abs(ca[i]-cc[i]) / draws
+		if diff > 0.01 {
+			t.Fatalf("samplers disagree on index %d: alias %v vs cumulative %v", i, ca[i]/draws, cc[i]/draws)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Geometric(0.1)
+	}
+	_ = sink
+}
