@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench rrgen
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: sharded RR generation and the
+# cluster transports run under the race detector.
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/rrset/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerates BENCH_RRGEN.json (RR-generation throughput per parallelism
+# level on this box).
+rrgen:
+	$(GO) run ./cmd/experiments -run rrgen

@@ -44,6 +44,7 @@ func main() {
 		machines    = flag.Int("machines", 1, "number of in-process machines")
 		workers     = flag.String("workers", "", "comma-separated TCP worker addresses (overrides -machines)")
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling (requires weighted-cascade weights)")
+		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines per machine (0 = auto: GOMAXPROCS/machines, 1 = sequential)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		verify      = flag.Int("verify", 0, "verify the result with this many Monte-Carlo simulations")
 		showMetrics = flag.Bool("metrics", true, "print the time/traffic breakdown")
@@ -60,9 +61,13 @@ func main() {
 	}
 	fmt.Printf("graph: %d nodes, %d edges, avg degree %.1f\n", g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
+	par := *parallelism
+	if par == 0 {
+		par = core.AutoParallelism
+	}
 	opt := core.Options{
 		K: *k, Eps: *eps, Delta: *delta, Machines: *machines,
-		Model: model, Subset: *subset, Seed: *seed,
+		Model: model, Subset: *subset, Seed: *seed, Parallelism: par,
 	}
 	if *algo == "opimc" {
 		if *workers != "" {

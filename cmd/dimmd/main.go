@@ -12,13 +12,18 @@
 //
 // The -seed-index must be distinct per worker: worker i samples the RNG
 // stream derived from (-seed, i), which is what makes a distributed run
-// reproduce the equivalent single-process run bit for bit.
+// reproduce the equivalent single-process run bit for bit. The sampled
+// streams also depend on -parallelism (the per-worker shard count, auto
+// = GOMAXPROCS by default), so reproducible multi-host runs should pin
+// the same -parallelism on every worker; -parallelism 1 reproduces the
+// sequential sampler exactly.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"runtime"
 	"strings"
 
 	"dimm/internal/cluster"
@@ -37,9 +42,10 @@ func main() {
 		uniformP   = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
 		listen     = flag.String("listen", ":7001", "address to serve the worker protocol on")
 		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
-		subset     = flag.Bool("subsim", false, "use SUBSIM subset sampling")
-		seed       = flag.Uint64("seed", 1, "base random seed (same on every worker)")
-		seedIndex  = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
+		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling")
+		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines for this worker (0 = auto: GOMAXPROCS, 1 = sequential); must match across workers for reproducible runs")
+		seed        = flag.Uint64("seed", 1, "base random seed (same on every worker)")
+		seedIndex   = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
 	)
 	flag.Parse()
 
@@ -73,13 +79,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("worker %d serving %d nodes / %d edges on %s (%v model)",
-		*seedIndex, g.NumNodes(), g.NumEdges(), lis.Addr(), model)
+	par := *parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0) // this process is one machine: use its cores
+	}
+	log.Printf("worker %d serving %d nodes / %d edges on %s (%v model, parallelism %d)",
+		*seedIndex, g.NumNodes(), g.NumEdges(), lis.Addr(), model, par)
 	cfg := cluster.WorkerConfig{
-		Graph:  g,
-		Model:  model,
-		Subset: *subset,
-		Seed:   cluster.DeriveSeed(*seed, *seedIndex),
+		Graph:       g,
+		Model:       model,
+		Subset:      *subset,
+		Seed:        cluster.DeriveSeed(*seed, *seedIndex),
+		Parallelism: par,
 	}
 	if err := cluster.Serve(lis, func() (*cluster.Worker, error) {
 		return cluster.NewWorker(cfg)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dimm/internal/bench"
+	"dimm/internal/core"
 	"dimm/internal/workload"
 )
 
@@ -33,7 +34,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,all")
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,all (rrgen only runs when named)")
 		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k        = flag.Int("k", 50, "seed set size")
 		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -46,6 +47,8 @@ func main() {
 		repeats  = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
 		linkRTT  = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
 		linkGbps = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
+		par      = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
+		rrgenOut = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,10 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	parallelism := *par
+	if parallelism == 0 {
+		parallelism = core.AutoParallelism
+	}
 	cfg := bench.Config{
 		Out:           out,
 		Scale:         workload.Scale(*scale),
@@ -70,6 +77,7 @@ func main() {
 		Repeats:       *repeats,
 		LinkRTT:       *linkRTT,
 		LinkBandwidth: *linkGbps * 1e9 / 8,
+		Parallelism:   parallelism,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
@@ -114,6 +122,12 @@ func main() {
 	step("fig8", func() error { _, err := cfg.Fig8(); return err })
 	step("fig9", func() error { _, err := cfg.Fig9(); return err })
 	step("fig10", func() error { _, err := cfg.Fig10(); return err })
+	// rrgen writes BENCH_RRGEN.json, so it only runs when explicitly named.
+	if want["rrgen"] {
+		if _, err := cfg.RRGen(*rrgenOut); err != nil {
+			log.Fatalf("rrgen: %v", err)
+		}
+	}
 }
 
 func parseInts(s string) []int {

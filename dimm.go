@@ -46,8 +46,16 @@ const (
 type Graph = graph.Graph
 
 // Options configures MaximizeInfluence. Zero values take the paper's
-// defaults: K=50, Eps=0.1, Delta=1/n, Machines=1.
+// defaults: K=50, Eps=0.1, Delta=1/n, Machines=1, Parallelism=1
+// (sequential per-worker sampling, bit-identical across runs). Set
+// Parallelism to AutoParallelism to fan each worker's RR-set generation
+// across GOMAXPROCS/Machines goroutines.
 type Options = core.Options
+
+// AutoParallelism, as Options.Parallelism, sizes each worker's sampling
+// shard count to GOMAXPROCS/Machines (min 1). Seed sets stay a
+// deterministic function of (Seed, Machines, resolved Parallelism).
+const AutoParallelism = core.AutoParallelism
 
 // Result reports a MaximizeInfluence run: the seed set, its estimated
 // spread, θ, and the cluster's per-phase time/traffic accounting.

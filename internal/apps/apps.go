@@ -34,6 +34,9 @@ type Common struct {
 	Eps      float64 // sampling density: θ follows DIIMM's schedule at this ε
 	Delta    float64
 	Seed     uint64
+	// Parallelism is the per-worker RR-generation shard count
+	// (rrset.ShardedSampler); values below 1 mean 1 (sequential).
+	Parallelism int
 }
 
 func (c Common) withDefaults(n int) Common {
@@ -58,6 +61,7 @@ func (c Common) newCluster(g *graph.Graph, rootWeights []float64) (*cluster.Clus
 			Model:       c.Model,
 			Seed:        cluster.DeriveSeed(c.Seed, i),
 			RootWeights: rootWeights,
+			Parallelism: c.Parallelism,
 		}
 	}
 	return cluster.NewLocal(cfgs, g.NumNodes())

@@ -35,6 +35,12 @@ type Config struct {
 	// paper averages 10 runs; the minimum is the stabler choice against
 	// scheduler and GC noise on a shared box). Defaults to 1.
 	Repeats int
+	// Parallelism is the intra-worker RR-generation shard count passed to
+	// every run (core.Options.Parallelism). The default 0 resolves to 1 —
+	// sequential workers — which keeps the per-worker handler timings
+	// meaningful on an oversubscribed box (see DESIGN.md); set it
+	// explicitly (or to core.AutoParallelism) on hardware with idle cores.
+	Parallelism int
 	// LinkRTT and LinkBandwidth shape the TCP-cluster figures' links
 	// (Figs. 5/8) to model the paper's 1 Gbps switch instead of raw
 	// loopback. Zero values leave loopback unshaped.

@@ -72,13 +72,14 @@ func (c Config) runOne(spec workload.Spec, g *graph.Graph, machines int, model d
 // runOnce executes a single DIIMM run and flattens it into an IMRow.
 func (c Config) runOnce(spec workload.Spec, g *graph.Graph, machines int, model diffusion.Model, subset bool, conns []cluster.Conn) (IMRow, error) {
 	opt := core.Options{
-		K:        c.K,
-		Eps:      c.Eps,
-		Delta:    c.Delta,
-		Machines: machines,
-		Model:    model,
-		Subset:   subset,
-		Seed:     c.Seed,
+		K:           c.K,
+		Eps:         c.Eps,
+		Delta:       c.Delta,
+		Machines:    machines,
+		Model:       model,
+		Subset:      subset,
+		Seed:        c.Seed,
+		Parallelism: c.Parallelism,
 	}
 	var (
 		res *core.Result
@@ -226,9 +227,10 @@ func (c Config) dialTCPWorkers(g *graph.Graph, model diffusion.Model, l int) ([]
 		}
 		listeners = append(listeners, lis)
 		seed := cluster.DeriveSeed(c.Seed, i)
+		par := core.ResolveParallelism(c.Parallelism, l)
 		go func() {
 			_ = cluster.Serve(lis, func() (*cluster.Worker, error) {
-				return cluster.NewWorker(cluster.WorkerConfig{Graph: g, Model: model, Seed: seed})
+				return cluster.NewWorker(cluster.WorkerConfig{Graph: g, Model: model, Seed: seed, Parallelism: par})
 			})
 		}()
 		conn, err := cluster.DialWorker(lis.Addr().String())

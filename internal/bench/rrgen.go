@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/rrset"
+)
+
+// RRGenOptions configures the RR-set generation throughput sweep.
+type RRGenOptions struct {
+	Nodes     int     // synthetic graph size (default 50_000)
+	AvgDegree float64 // synthetic graph average degree (default 10)
+	Model     diffusion.Model
+	Subset    bool  // SUBSIM subset sampling
+	Seed      uint64
+	Count     int64 // RR sets generated per parallelism level (default 200_000)
+	Ps        []int // parallelism sweep (default 1,2,4,8)
+}
+
+func (o RRGenOptions) withDefaults() RRGenOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 50_000
+	}
+	if o.AvgDegree == 0 {
+		o.AvgDegree = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 20220501
+	}
+	if o.Count == 0 {
+		o.Count = 200_000
+	}
+	if len(o.Ps) == 0 {
+		o.Ps = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// RRGenResult is one parallelism level of the sweep.
+type RRGenResult struct {
+	Parallelism      int     `json:"parallelism"`
+	Sets             int64   `json:"sets"`
+	TotalSize        int64   `json:"total_size"`
+	Probes           int64   `json:"probes"`
+	Seconds          float64 `json:"seconds"`
+	SetsPerSec       float64 `json:"sets_per_sec"`
+	ProbesPerSec     float64 `json:"probes_per_sec"`
+	AllocBytesPerSet float64 `json:"alloc_bytes_per_set"`
+	SpeedupVsP1      float64 `json:"speedup_vs_p1"`
+}
+
+// RRGenReport is the machine-readable record written to BENCH_RRGEN.json
+// so future changes can track the RR-generation perf trajectory. The
+// GOMAXPROCS/NumCPU fields matter for interpretation: parallel speedup
+// requires idle cores, and a 1-core box shows ≈1× at every P.
+type RRGenReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Nodes      int           `json:"nodes"`
+	Edges      int64         `json:"edges"`
+	Model      string        `json:"model"`
+	Subset     bool          `json:"subset"`
+	Seed       uint64        `json:"seed"`
+	Count      int64         `json:"count"`
+	Results    []RRGenResult `json:"results"`
+}
+
+// RunRRGen measures sharded RR-set generation throughput across the
+// parallelism sweep on one synthetic weighted-cascade graph. Every level
+// uses the same worker seed; collections are fresh per level.
+func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
+	opt = opt.withDefaults()
+	g, err := graph.GenPreferential(graph.GenConfig{
+		Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed, UniformAttach: 0.15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0); err != nil {
+		return nil, err
+	}
+	rep := &RRGenReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Model:      opt.Model.String(),
+		Subset:     opt.Subset,
+		Seed:       opt.Seed,
+		Count:      opt.Count,
+	}
+	for _, p := range opt.Ps {
+		s, err := rrset.NewShardedSampler(g, opt.Model, opt.Seed, opt.Subset, p)
+		if err != nil {
+			return nil, err
+		}
+		coll := rrset.NewCollection(1 << 16)
+		// Warm up arenas and sampler scratch outside the timed window.
+		s.SampleManyInto(coll, min64(opt.Count/10, 5_000))
+		coll.Reset()
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		s.SampleManyInto(coll, opt.Count)
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
+		res := RRGenResult{
+			Parallelism:      p,
+			Sets:             int64(coll.Count()),
+			TotalSize:        coll.TotalSize(),
+			Probes:           coll.EdgesExamined(),
+			Seconds:          secs,
+			SetsPerSec:       float64(coll.Count()) / secs,
+			ProbesPerSec:     float64(coll.EdgesExamined()) / secs,
+			AllocBytesPerSet: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(coll.Count()),
+		}
+		if len(rep.Results) > 0 && rep.Results[0].Parallelism == 1 {
+			res.SpeedupVsP1 = res.SetsPerSec / rep.Results[0].SetsPerSec
+		} else if p == 1 {
+			res.SpeedupVsP1 = 1
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *RRGenReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// RRGen runs the throughput sweep at the harness's model/seed settings,
+// prints a table, and — when jsonPath is non-empty — records the report
+// machine-readably (BENCH_RRGEN.json).
+func (c Config) RRGen(jsonPath string) (*RRGenReport, error) {
+	return c.rrgen(RRGenOptions{Model: diffusion.IC, Seed: c.Seed}, jsonPath)
+}
+
+func (c Config) rrgen(opt RRGenOptions, jsonPath string) (*RRGenReport, error) {
+	rep, err := RunRRGen(opt)
+	if err != nil {
+		return nil, err
+	}
+	c.printf("\n== RR-set generation throughput (sharded sampler, GOMAXPROCS=%d, %d CPUs) ==\n",
+		rep.GOMAXPROCS, rep.NumCPU)
+	c.printf("%4s %12s %12s %14s %12s %8s\n", "P", "sets", "sets/s", "probes/s", "alloc/set", "speedup")
+	for _, r := range rep.Results {
+		c.printf("%4d %12s %12.0f %14.0f %10.1fB %7.2fx\n",
+			r.Parallelism, fmtCount(r.Sets), r.SetsPerSec, r.ProbesPerSec, r.AllocBytesPerSet, r.SpeedupVsP1)
+	}
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", jsonPath, err)
+		}
+		c.printf("wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}

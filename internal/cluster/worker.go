@@ -20,6 +20,13 @@ type WorkerConfig struct {
 	// RootWeights, when non-nil, draws RR-set roots proportionally to the
 	// given per-node weights (targeted influence maximization).
 	RootWeights []float64
+	// Parallelism is the number of intra-worker RR-generation goroutines
+	// (shards). 0 or 1 samples sequentially on the handler goroutine,
+	// bit-identical to a plain Sampler; P > 1 runs P deterministic shard
+	// streams merged in shard order (see rrset.ShardedSampler), modeling a
+	// machine with P cores. Seed sets depend on (Seed, Parallelism), so
+	// all workers of a reproducible run must agree on P.
+	Parallelism int
 }
 
 // Worker is the slave-side state of Algorithm 1 and the distributed RIS
@@ -28,14 +35,20 @@ type WorkerConfig struct {
 // request at a time (the transports serialize per-worker requests).
 type Worker struct {
 	cfg     WorkerConfig
-	sampler *rrset.Sampler
+	sampler *rrset.ShardedSampler
 	sim     *diffusion.Simulator // lazily built for msgEstimate
 	coll    *rrset.Collection
 
-	idx        *rrset.Index // lazily rebuilt when the collection grows
+	idx        *rrset.Index // lazily built, then extended incrementally
 	covered    []bool
 	decScratch []int32
 	touched    []uint32
+
+	// covMark is an epoch-stamped mark array over RR-set ids used by
+	// coverageOf: marking is covMark[j] = covEpoch, so repeated coverage
+	// queries allocate nothing once the array fits the collection.
+	covMark  []uint32
+	covEpoch uint32
 
 	// reported is how many RR sets have had their coverage shipped to the
 	// master via msgDegreeDelta — the traffic optimization of §III-C that
@@ -53,7 +66,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		coll: rrset.NewCollection(1 << 16),
 	}
 	if cfg.Graph != nil {
-		s, err := rrset.NewSampler(cfg.Graph, cfg.Model, cfg.Seed, cfg.Subset)
+		s, err := rrset.NewShardedSampler(cfg.Graph, cfg.Model, cfg.Seed, cfg.Subset, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +119,8 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 			return nil, fmt.Errorf("generation count %d exceeds the per-request cap %d", count, int64(maxGenerateBatch))
 		}
 		w.sampler.SampleManyInto(w.coll, count)
-		w.idx = nil // collection grew; index is stale
+		// The index is NOT invalidated here: ensureIndex extends it
+		// incrementally over just the new RR sets (Index.AppendFrom).
 		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
 			Count:         int64(w.coll.Count()),
 			TotalSize:     w.coll.TotalSize(),
@@ -246,19 +260,22 @@ func (w *Worker) ingest(payload []byte) error {
 	return nil
 }
 
-// ensureIndex rebuilds the inverted index if the collection grew since the
-// last build. Rebuilds are O(total size); DIIMM doubles the collection per
-// round, so the lifetime rebuild cost is at most ~2x the final size.
+// ensureIndex brings the inverted index up to date with the collection.
+// The first call builds it; later calls extend it incrementally over only
+// the RR sets generated since (Index.AppendFrom, O(new size)), instead of
+// the historic O(total size) rebuild per DIIMM doubling round. Ingest and
+// reset drop the index (w.idx = nil) because they can change the item
+// space; generation never does.
 func (w *Worker) ensureIndex() error {
-	if w.idx != nil && w.idx.Count() == w.coll.Count() {
+	if w.idx == nil {
+		idx, err := rrset.BuildIndex(w.coll, w.numItems())
+		if err != nil {
+			return err
+		}
+		w.idx = idx
 		return nil
 	}
-	idx, err := rrset.BuildIndex(w.coll, w.numItems())
-	if err != nil {
-		return err
-	}
-	w.idx = idx
-	return nil
+	return w.idx.AppendFrom(w.coll, w.idx.Count())
 }
 
 // degreeDelta returns coverage counts over RR sets added since the last
@@ -306,16 +323,18 @@ func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
 		return nil, fmt.Errorf("seed %d outside item space %d", u, w.numItems())
 	}
 	w.touched = w.touched[:0]
-	for _, j := range w.idx.Covers(u) {
-		if w.covered[j] {
-			continue
-		}
-		w.covered[j] = true
-		for _, v := range w.coll.Set(int(j)) {
-			if w.decScratch[v] == 0 {
-				w.touched = append(w.touched, v)
+	for si := 0; si < w.idx.NumSegments(); si++ {
+		for _, j := range w.idx.SegCovers(si, u) {
+			if w.covered[j] {
+				continue
 			}
-			w.decScratch[v]++
+			w.covered[j] = true
+			for _, v := range w.coll.Set(int(j)) {
+				if w.decScratch[v] == 0 {
+					w.touched = append(w.touched, v)
+				}
+				w.decScratch[v]++
+			}
 		}
 	}
 	return w.drainScratch(), nil
@@ -326,18 +345,10 @@ func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
 // a measurable baseline: the response is Θ(total RR size) bytes, versus
 // NEWGREEDI's O(k·n) for a whole selection run.
 func (w *Worker) fetchAll(start time.Time) []byte {
-	size := 1 + 8 + 4 + 4*int(w.coll.TotalSize()) + 4*w.coll.Count()
-	b := make([]byte, 0, size)
+	b := make([]byte, 0, 1+8+w.coll.WireSize())
 	b = append(b, 0)
 	b = appendI64(b, 0) // handler nanos patched below
-	b = appendU32(b, uint32(w.coll.Count()))
-	for i := 0; i < w.coll.Count(); i++ {
-		set := w.coll.Set(i)
-		b = appendU32(b, uint32(len(set)))
-		for _, v := range set {
-			b = appendU32(b, v)
-		}
-	}
+	b = w.coll.AppendWire(b)
 	binary.LittleEndian.PutUint64(b[1:9], uint64(time.Since(start).Nanoseconds()))
 	return b
 }
@@ -381,22 +392,38 @@ func (w *Worker) estimate(seeds []uint32, rounds int64, start time.Time) ([]byte
 }
 
 // coverageOf counts this worker's RR sets covered by the seed set,
-// without disturbing any in-progress selection state (it uses its own
-// temporary marking over RR-set ids).
+// without disturbing any in-progress selection state. Deduplication uses
+// the reusable epoch-stamped covMark array over RR-set ids: zero
+// steady-state allocation, versus the map the historic implementation
+// built per request.
 func (w *Worker) coverageOf(seeds []uint32) (int64, error) {
 	if err := w.ensureIndex(); err != nil {
 		return 0, err
 	}
-	seen := make(map[uint32]struct{})
+	if len(w.covMark) < w.coll.Count() {
+		w.covMark = make([]uint32, w.coll.Count())
+		w.covEpoch = 0
+	}
+	w.covEpoch++
+	if w.covEpoch == 0 { // epoch wrapped: stale stamps could collide
+		clear(w.covMark)
+		w.covEpoch = 1
+	}
+	var covered int64
 	for _, s := range seeds {
 		if int(s) >= w.numItems() {
 			return 0, fmt.Errorf("seed %d outside item space %d", s, w.numItems())
 		}
-		for _, j := range w.idx.Covers(s) {
-			seen[j] = struct{}{}
+		for si := 0; si < w.idx.NumSegments(); si++ {
+			for _, j := range w.idx.SegCovers(si, s) {
+				if w.covMark[j] != w.covEpoch {
+					w.covMark[j] = w.covEpoch
+					covered++
+				}
+			}
 		}
 	}
-	return int64(len(seen)), nil
+	return covered, nil
 }
 
 // drainScratch converts the touched counters into delta pairs and resets

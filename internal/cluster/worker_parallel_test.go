@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"dimm/internal/coverage"
+	"dimm/internal/diffusion"
+	"dimm/internal/rrset"
+)
+
+func mustAck(t *testing.T, w *Worker, req []byte) {
+	t.Helper()
+	if _, _, err := decodeRespHeader(w.Handle(req)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerIncrementalIndex asserts the DIIMM doubling loop never
+// rebuilds the inverted index: after generate → select → generate →
+// select the worker has done exactly one full build, extended by one
+// segment per round, and the segmented index answers Covers identically
+// to a from-scratch build over the same collection.
+func TestWorkerIncrementalIndex(t *testing.T) {
+	g := testGraph(t)
+	w, err := NewWorker(WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(3, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAck(t, w, encodeGenerateReq(100))
+	mustAck(t, w, encodeSimpleReq(msgBeginSelect))
+	if w.idx.FullBuilds() != 1 || w.idx.NumSegments() != 1 {
+		t.Fatalf("after first round: %d full builds, %d segments", w.idx.FullBuilds(), w.idx.NumSegments())
+	}
+	mustAck(t, w, encodeGenerateReq(200))
+	mustAck(t, w, encodeSimpleReq(msgBeginSelect))
+	if w.idx.FullBuilds() != 1 {
+		t.Fatalf("doubling round triggered a full rebuild (%d builds)", w.idx.FullBuilds())
+	}
+	if w.idx.NumSegments() != 2 || w.idx.Count() != 300 {
+		t.Fatalf("after second round: %d segments over %d sets, want 2 over 300",
+			w.idx.NumSegments(), w.idx.Count())
+	}
+	ref, err := rrset.BuildIndex(w.coll, w.numItems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < w.numItems(); v++ {
+		want := ref.Covers(uint32(v))
+		got := w.idx.Covers(uint32(v))
+		if len(want) != len(got) {
+			t.Fatalf("node %d: %d covering sets, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("node %d: incremental index diverges from full build at %d", v, i)
+			}
+		}
+	}
+}
+
+// TestParallelClusterDeterministic: with an explicit Parallelism, a full
+// generate+greedy run is a pure function of (seed, ℓ, P) — two clusters
+// built alike agree seed for seed, on every transport the local cluster
+// models.
+func TestParallelClusterDeterministic(t *testing.T) {
+	g := testGraph(t)
+	run := func(p int) ([]uint32, int64) {
+		cfgs := make([]WorkerConfig, 2)
+		for i := range cfgs {
+			cfgs[i] = WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(41, i), Parallelism: p}
+		}
+		cl, err := NewLocal(cfgs, g.NumNodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if _, err := cl.Generate(600); err != nil {
+			t.Fatal(err)
+		}
+		res, err := coverage.RunGreedy(cl.Oracle(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seeds, res.Coverage
+	}
+	for _, p := range []int{2, 4} {
+		s1, c1 := run(p)
+		s2, c2 := run(p)
+		if c1 != c2 {
+			t.Fatalf("P=%d: coverage %d vs %d across identical runs", p, c1, c2)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("P=%d: seed %d differs across identical runs: %v vs %v", p, i, s1, s2)
+			}
+		}
+	}
+	// P=1 must match the zero-value (sequential) configuration exactly.
+	s0, c0 := run(0)
+	s1, c1 := run(1)
+	if c0 != c1 {
+		t.Fatalf("P=1 coverage %d != sequential %d", c1, c0)
+	}
+	for i := range s0 {
+		if s0[i] != s1[i] {
+			t.Fatalf("P=1 seeds %v != sequential %v", s1, s0)
+		}
+	}
+}
+
+// TestCoverageOfEpochMarks hits the reusable mark array across repeated
+// and interleaved coverage queries, checking against an independent
+// recount each time. It also crosses an epoch wrap.
+func TestCoverageOfEpochMarks(t *testing.T) {
+	g := testGraph(t)
+	w, err := NewWorker(WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(8, 0), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAck(t, w, encodeGenerateReq(400))
+	seedSets := [][]uint32{{0}, {1, 2, 3}, {0}, {5, 5, 5}, {}, {7, 11, 13, 17}}
+	check := func() {
+		t.Helper()
+		for _, seeds := range seedSets {
+			got, err := w.coverageOf(seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := coverage.CoverageOf(w.coll, seeds); got != want {
+				t.Fatalf("coverageOf(%v) = %d, want %d", seeds, got, want)
+			}
+		}
+	}
+	check()
+	// Growing the collection mid-stream must extend both index and marks.
+	mustAck(t, w, encodeGenerateReq(150))
+	check()
+	// Force the epoch counter over the uint32 wrap: stale stamps from the
+	// pre-wrap queries must not count as covered.
+	w.covEpoch = ^uint32(0) - 1
+	check()
+	if w.covEpoch >= ^uint32(0)-1 {
+		t.Fatalf("epoch did not advance across the wrap: %d", w.covEpoch)
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"dimm/internal/cluster"
@@ -15,6 +16,12 @@ import (
 	"dimm/internal/graph"
 	"dimm/internal/imm"
 )
+
+// AutoParallelism, as Options.Parallelism, spreads GOMAXPROCS evenly
+// across the ℓ machines: P = max(1, GOMAXPROCS/ℓ). On a 1-core box this
+// resolves to P = 1, preserving the sequential-broadcast measurement
+// story of DESIGN.md; on a multi-core box it uses the hardware.
+const AutoParallelism = -1
 
 // Options configures a DIIMM run.
 type Options struct {
@@ -25,6 +32,32 @@ type Options struct {
 	Model    diffusion.Model
 	Subset   bool   // true = distributed SUBSIM sampling (Fig. 7)
 	Seed     uint64 // base seed; machine i samples from a derived stream
+	// Parallelism is the number of intra-worker RR-generation goroutines
+	// per machine (rrset.ShardedSampler shards). 0 (the default) means 1:
+	// sequential sampling, bit-identical to historic output for a fixed
+	// seed. AutoParallelism derives it from GOMAXPROCS/ℓ. Seed sets are a
+	// deterministic function of (Seed, Machines, Parallelism).
+	Parallelism int
+}
+
+// ResolveParallelism maps an Options.Parallelism value to the effective
+// per-worker shard count for a run over machines workers.
+func ResolveParallelism(p, machines int) int {
+	switch {
+	case p > 0:
+		return p
+	case p == AutoParallelism:
+		if machines < 1 {
+			machines = 1
+		}
+		per := runtime.GOMAXPROCS(0) / machines
+		if per < 1 {
+			per = 1
+		}
+		return per
+	default:
+		return 1
+	}
 }
 
 // withDefaults fills unset fields with the paper's defaults.
@@ -89,13 +122,15 @@ func (e *clusterEngine) SelectK(k int) (*coverage.Result, error) {
 // reference to g and samples an independent stream.
 func RunDIIMM(g *graph.Graph, opt Options) (*Result, error) {
 	opt = opt.withDefaults(g.NumNodes())
+	par := ResolveParallelism(opt.Parallelism, opt.Machines)
 	cfgs := make([]cluster.WorkerConfig, opt.Machines)
 	for i := range cfgs {
 		cfgs[i] = cluster.WorkerConfig{
-			Graph:  g,
-			Model:  opt.Model,
-			Subset: opt.Subset,
-			Seed:   cluster.DeriveSeed(opt.Seed, i),
+			Graph:       g,
+			Model:       opt.Model,
+			Subset:      opt.Subset,
+			Seed:        cluster.DeriveSeed(opt.Seed, i),
+			Parallelism: par,
 		}
 	}
 	cl, err := cluster.NewLocal(cfgs, g.NumNodes())

@@ -56,14 +56,16 @@ func (e *dualClusterEngine) CoverageOn2(seeds []uint32) (int64, error) {
 // meaning as for RunDIIMM.
 func RunDOPIMC(g *graph.Graph, opt Options) (*OPIMResult, error) {
 	opt = opt.withDefaults(g.NumNodes())
+	par := ResolveParallelism(opt.Parallelism, opt.Machines)
 	mkCluster := func(tag uint64) (*cluster.Cluster, error) {
 		cfgs := make([]cluster.WorkerConfig, opt.Machines)
 		for i := range cfgs {
 			cfgs[i] = cluster.WorkerConfig{
-				Graph:  g,
-				Model:  opt.Model,
-				Subset: opt.Subset,
-				Seed:   cluster.DeriveSeed(opt.Seed^tag, i),
+				Graph:       g,
+				Model:       opt.Model,
+				Subset:      opt.Subset,
+				Seed:        cluster.DeriveSeed(opt.Seed^tag, i),
+				Parallelism: par,
 			}
 		}
 		return cluster.NewLocal(cfgs, g.NumNodes())

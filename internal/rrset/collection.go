@@ -10,7 +10,10 @@
 // table, so the garbage collector sees O(1) objects regardless of θ.
 package rrset
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Collection is an append-only set of RR sets in arena storage.
 // Not safe for concurrent mutation; each machine owns one Collection.
@@ -59,6 +62,59 @@ func (c *Collection) Append(members []uint32, edgeProbes int64) {
 	c.edgesExamined += edgeProbes
 }
 
+// Reset truncates the collection to empty while keeping the arena
+// capacity, so a reused collection reaches steady-state zero allocation.
+func (c *Collection) Reset() {
+	c.nodes = c.nodes[:0]
+	c.offs = c.offs[:1]
+	c.edgesExamined = 0
+}
+
+// AppendCollection bulk-appends every RR set of o to c, preserving order.
+// It is the merge step of sharded generation: two flat copies instead of
+// per-set Append calls.
+func (c *Collection) AppendCollection(o *Collection) {
+	base := int64(len(c.nodes))
+	c.nodes = append(c.nodes, o.nodes...)
+	for _, off := range o.offs[1:] {
+		c.offs = append(c.offs, base+off)
+	}
+	c.edgesExamined += o.edgesExamined
+}
+
+// WireSize returns the number of bytes AppendWire adds: a u32 set count,
+// then per set a u32 length plus its u32 members.
+func (c *Collection) WireSize() int {
+	return 4 + 4*c.Count() + 4*int(c.TotalSize())
+}
+
+// AppendWire appends the collection's little-endian wire encoding to b —
+// the gather-all payload layout (count u32, then len u32 + members u32*
+// per set). The buffer is grown once and filled by index, which is
+// measurably faster than appending one u32 at a time.
+func (c *Collection) AppendWire(b []byte) []byte {
+	off := len(b)
+	need := c.WireSize()
+	if cap(b)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, b)
+		b = grown
+	}
+	b = b[:off+need]
+	binary.LittleEndian.PutUint32(b[off:], uint32(c.Count()))
+	off += 4
+	for i := 0; i < c.Count(); i++ {
+		set := c.nodes[c.offs[i]:c.offs[i+1]]
+		binary.LittleEndian.PutUint32(b[off:], uint32(len(set)))
+		off += 4
+		for _, v := range set {
+			binary.LittleEndian.PutUint32(b[off:], v)
+			off += 4
+		}
+	}
+	return b
+}
+
 // AvgSize returns the mean RR-set cardinality (the empirical EPS).
 func (c *Collection) AvgSize() float64 {
 	if c.Count() == 0 {
@@ -88,54 +144,151 @@ func (c *Collection) SizeHistogram() []int64 {
 }
 
 // Index is an inverted node→RR-set index over a Collection prefix: for
-// each node v, the ids of the RR sets that contain v. It is itself a CSR
-// over flat arrays (same GC rationale as Collection). In the paper's
+// each node v, the ids of the RR sets that contain v. In the paper's
 // notation the list for node v is I_i(v) on machine s_i.
+//
+// The index is segmented: each growth increment of the collection becomes
+// one CSR segment over flat arrays (same GC rationale as Collection), so
+// extending the index after a DIIMM doubling round costs O(new RR size)
+// instead of an O(total size) rebuild. Segments cover disjoint ascending
+// RR-id ranges, so per-node id lists stay globally sorted when segments
+// are visited in order.
 type Index struct {
+	n     int // item-space size (graph nodes)
+	count int // number of RR sets indexed
+	segs  []indexSeg
+
+	// fullBuilds counts from-scratch constructions (instrumentation for
+	// the incremental-maintenance guarantee; see Worker.ensureIndex).
+	fullBuilds int
+}
+
+// indexSeg is one CSR segment covering RR sets [from, from+countable).
+type indexSeg struct {
+	from  int // first RR-set id this segment covers
 	start []int64
 	ids   []uint32
-	count int // number of RR sets indexed
 }
+
+// maxIndexSegments bounds segment-chain length. DIIMM's doubling schedule
+// produces O(log θ) segments, far below this; a pathological caller issuing
+// thousands of tiny increments triggers a compacting full rebuild instead
+// of degrading every Covers call.
+const maxIndexSegments = 64
 
 // BuildIndex constructs the inverted index of the first c.Count() RR sets
 // for a graph of n nodes. RR-set ids must fit in uint32.
 func BuildIndex(c *Collection, n int) (*Index, error) {
-	if c.Count() > 1<<31 {
-		return nil, fmt.Errorf("rrset: %d RR sets exceed the uint32 id space", c.Count())
-	}
-	idx := &Index{
-		start: make([]int64, n+1),
-		ids:   make([]uint32, c.TotalSize()),
-		count: c.Count(),
-	}
-	for _, v := range c.nodes {
-		idx.start[v+1]++
-	}
-	for v := 0; v < n; v++ {
-		idx.start[v+1] += idx.start[v]
-	}
-	pos := make([]int64, n)
-	for i := 0; i < c.Count(); i++ {
-		for _, v := range c.Set(i) {
-			p := idx.start[v] + pos[v]
-			idx.ids[p] = uint32(i)
-			pos[v]++
-		}
+	idx := &Index{n: n, fullBuilds: 1}
+	if err := idx.appendSeg(c, 0); err != nil {
+		return nil, err
 	}
 	return idx, nil
 }
 
-// Covers returns the ids of RR sets containing node v. Aliases internal
-// storage; do not modify.
+// AppendFrom extends the index with the RR sets [from, c.Count()) of c,
+// where from must equal the number of sets already indexed. The work is
+// O(n + size of the new sets) — it never touches previously indexed
+// segments (unless the segment cap forces a compaction).
+func (idx *Index) AppendFrom(c *Collection, from int) error {
+	if from != idx.count {
+		return fmt.Errorf("rrset: AppendFrom at %d but %d RR sets indexed", from, idx.count)
+	}
+	if from > c.Count() {
+		return fmt.Errorf("rrset: index covers %d RR sets but the collection holds %d", from, c.Count())
+	}
+	if from == c.Count() {
+		return nil
+	}
+	if len(idx.segs) >= maxIndexSegments {
+		idx.segs = idx.segs[:0]
+		idx.count = 0
+		idx.fullBuilds++
+		from = 0
+	}
+	return idx.appendSeg(c, from)
+}
+
+// appendSeg builds one CSR segment over sets [from, c.Count()).
+func (idx *Index) appendSeg(c *Collection, from int) error {
+	if c.Count() > 1<<31 {
+		return fmt.Errorf("rrset: %d RR sets exceed the uint32 id space", c.Count())
+	}
+	lo, hi := c.offs[from], c.offs[c.Count()]
+	seg := indexSeg{
+		from:  from,
+		start: make([]int64, idx.n+1),
+		ids:   make([]uint32, hi-lo),
+	}
+	for _, v := range c.nodes[lo:hi] {
+		seg.start[v+1]++
+	}
+	for v := 0; v < idx.n; v++ {
+		seg.start[v+1] += seg.start[v]
+	}
+	// Fill using start[v] as the write cursor, then shift the offsets back
+	// by one slot to restore the CSR invariant (avoids a second O(n) pos
+	// array).
+	for i := from; i < c.Count(); i++ {
+		for _, v := range c.Set(i) {
+			seg.ids[seg.start[v]] = uint32(i)
+			seg.start[v]++
+		}
+	}
+	for v := idx.n; v > 0; v-- {
+		seg.start[v] = seg.start[v-1]
+	}
+	seg.start[0] = 0
+	idx.segs = append(idx.segs, seg)
+	idx.count = c.Count()
+	return nil
+}
+
+func (s *indexSeg) covers(v uint32) []uint32 {
+	return s.ids[s.start[v]:s.start[v+1]]
+}
+
+// Covers returns the ids of RR sets containing node v, in ascending
+// order. With a single segment (any freshly built index) the result
+// aliases internal storage and must not be modified; after incremental
+// growth it concatenates the per-segment lists into a fresh slice. Hot
+// paths should prefer NumSegments/SegCovers, which never allocate.
 func (idx *Index) Covers(v uint32) []uint32 {
-	return idx.ids[idx.start[v]:idx.start[v+1]]
+	if len(idx.segs) == 1 {
+		return idx.segs[0].covers(v)
+	}
+	var out []uint32
+	for i := range idx.segs {
+		out = append(out, idx.segs[i].covers(v)...)
+	}
+	return out
+}
+
+// NumSegments returns how many CSR segments the index holds (1 after a
+// full build, +1 per incremental AppendFrom).
+func (idx *Index) NumSegments() int { return len(idx.segs) }
+
+// SegCovers returns segment si's ids of RR sets containing v. The slice
+// aliases internal storage; do not modify. Iterating si in ascending
+// order yields the same id sequence as Covers, with zero allocation.
+func (idx *Index) SegCovers(si int, v uint32) []uint32 {
+	return idx.segs[si].covers(v)
 }
 
 // Degree returns how many indexed RR sets contain v (the initial coverage
 // Δ_i(v) of Algorithm 1 line 3).
 func (idx *Index) Degree(v uint32) int {
-	return int(idx.start[v+1] - idx.start[v])
+	var d int64
+	for i := range idx.segs {
+		d += idx.segs[i].start[v+1] - idx.segs[i].start[v]
+	}
+	return int(d)
 }
 
 // Count returns the number of RR sets the index covers.
 func (idx *Index) Count() int { return idx.count }
+
+// FullBuilds returns how many times the index was constructed from
+// scratch (1 for BuildIndex; incremental AppendFrom calls do not add to
+// it unless the segment cap forces a compaction).
+func (idx *Index) FullBuilds() int { return idx.fullBuilds }

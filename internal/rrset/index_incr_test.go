@@ -1,0 +1,141 @@
+package rrset
+
+import (
+	"testing"
+
+	"dimm/internal/diffusion"
+)
+
+// buildIncrementally grows an index over c in the given chunk schedule.
+func buildIncrementally(t *testing.T, c *Collection, n int, chunks []int) *Index {
+	t.Helper()
+	idx, err := BuildIndex(prefix(c, chunks[0]), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := chunks[0]
+	for _, add := range chunks[1:] {
+		if err := idx.AppendFrom(prefix(c, have+add), have); err != nil {
+			t.Fatal(err)
+		}
+		have += add
+	}
+	return idx
+}
+
+// prefix returns a collection view holding the first count RR sets of c.
+func prefix(c *Collection, count int) *Collection {
+	return &Collection{nodes: c.nodes[:c.offs[count]], offs: c.offs[:count+1]}
+}
+
+func TestIndexAppendFromMatchesFullBuild(t *testing.T) {
+	g := testGraph(t, 250, 6)
+	s, err := NewSampler(g, diffusion.IC, 17, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection(64)
+	s.SampleManyInto(c, 700)
+	n := g.NumNodes()
+
+	full, err := BuildIndex(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A DIIMM-style doubling schedule and a ragged one.
+	for _, chunks := range [][]int{{100, 100, 200, 300}, {1, 699}, {350, 1, 349}} {
+		incr := buildIncrementally(t, c, n, chunks)
+		if incr.Count() != full.Count() {
+			t.Fatalf("chunks %v: count %d, want %d", chunks, incr.Count(), full.Count())
+		}
+		if incr.NumSegments() != len(chunks) {
+			t.Fatalf("chunks %v: %d segments, want %d", chunks, incr.NumSegments(), len(chunks))
+		}
+		if incr.FullBuilds() != 1 {
+			t.Fatalf("chunks %v: %d full builds, want 1", chunks, incr.FullBuilds())
+		}
+		for v := 0; v < n; v++ {
+			want := full.Covers(uint32(v))
+			got := incr.Covers(uint32(v))
+			if len(want) != len(got) {
+				t.Fatalf("chunks %v: node %d: %d covers, want %d", chunks, v, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("chunks %v: node %d: covers diverge at %d: %d != %d", chunks, v, i, got[i], want[i])
+				}
+			}
+			if incr.Degree(uint32(v)) != full.Degree(uint32(v)) {
+				t.Fatalf("chunks %v: node %d: degree %d, want %d", chunks, v, incr.Degree(uint32(v)), full.Degree(uint32(v)))
+			}
+			// The zero-alloc segment iteration must yield the same sequence.
+			var seg []uint32
+			for si := 0; si < incr.NumSegments(); si++ {
+				seg = append(seg, incr.SegCovers(si, uint32(v))...)
+			}
+			if len(seg) != len(want) {
+				t.Fatalf("chunks %v: node %d: segment iteration yields %d ids, want %d", chunks, v, len(seg), len(want))
+			}
+			for i := range want {
+				if seg[i] != want[i] {
+					t.Fatalf("chunks %v: node %d: segment iteration diverges at %d", chunks, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexAppendFromValidation(t *testing.T) {
+	c := NewCollection(8)
+	c.Append([]uint32{0, 1}, 0)
+	c.Append([]uint32{2}, 0)
+	idx, err := BuildIndex(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AppendFrom(c, 1); err == nil {
+		t.Fatal("want error when from != indexed count")
+	}
+	if err := idx.AppendFrom(c, 2); err != nil {
+		t.Fatalf("no-op append: %v", err)
+	}
+	if idx.NumSegments() != 1 || idx.Count() != 2 {
+		t.Fatalf("no-op append changed the index: %d segs, %d sets", idx.NumSegments(), idx.Count())
+	}
+}
+
+// TestIndexSegmentCapCompacts drives the pathological many-tiny-increments
+// pattern past maxIndexSegments and checks the index compacts into a
+// single segment (counted as one more full build) without losing data.
+func TestIndexSegmentCapCompacts(t *testing.T) {
+	c := NewCollection(8)
+	c.Append([]uint32{0}, 0)
+	idx, err := BuildIndex(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= maxIndexSegments+5; i++ {
+		c.Append([]uint32{uint32(i % 3)}, 0)
+		if err := idx.AppendFrom(c, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.NumSegments() > maxIndexSegments {
+		t.Fatalf("%d segments exceed the cap %d", idx.NumSegments(), maxIndexSegments)
+	}
+	if idx.FullBuilds() != 2 {
+		t.Fatalf("%d full builds, want 2 (initial + one compaction)", idx.FullBuilds())
+	}
+	if idx.Count() != c.Count() {
+		t.Fatalf("index covers %d sets, want %d", idx.Count(), c.Count())
+	}
+	full, err := BuildIndex(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 3; v++ {
+		if idx.Degree(v) != full.Degree(v) {
+			t.Fatalf("node %d degree %d after compaction, want %d", v, idx.Degree(v), full.Degree(v))
+		}
+	}
+}

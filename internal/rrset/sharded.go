@@ -1,0 +1,117 @@
+package rrset
+
+import (
+	"fmt"
+	"sync"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/xrand"
+)
+
+// ShardedSampler fans RR-set generation across P shard samplers, each a
+// private Sampler with its own RNG stream and scratch state, generating
+// into a private arena Collection. It parallelizes the per-machine share
+// of distributed RIS (Corollary 1 concentrates that share at total/ℓ;
+// intra-worker shards split it again by P) the way gIM and the Intel
+// optimized-parallel-IM implementations do, adapted to Go: the arenas
+// stay flat and per-shard, so the GC-pressure invariant of DESIGN.md key
+// choice #1 survives parallelism.
+//
+// Determinism: shard s samples the stream xrand.MachineSeed(seed, s), a
+// request for N sets is split as N/P (+1 for the first N%P shards), and
+// shard outputs are merged in ascending shard order — so a fixed
+// (seed, P) yields a byte-identical collection regardless of goroutine
+// scheduling. P = 1 runs the seed's stream directly on the caller's
+// goroutine and is bit-identical to a plain Sampler.
+type ShardedSampler struct {
+	shards []*Sampler
+	bufs   []*Collection // per-shard merge buffers, reused across rounds
+}
+
+// NewShardedSampler returns a sampler running parallelism shard streams.
+// Values below 1 are treated as 1 (sequential).
+func NewShardedSampler(g *graph.Graph, model diffusion.Model, seed uint64, subset bool, parallelism int) (*ShardedSampler, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ss := &ShardedSampler{
+		shards: make([]*Sampler, parallelism),
+		bufs:   make([]*Collection, parallelism),
+	}
+	for i := range ss.shards {
+		shardSeed := seed
+		if parallelism > 1 {
+			shardSeed = xrand.MachineSeed(seed, i)
+		}
+		s, err := NewSampler(g, model, shardSeed, subset)
+		if err != nil {
+			return nil, err
+		}
+		ss.shards[i] = s
+		ss.bufs[i] = NewCollection(1 << 12)
+	}
+	return ss, nil
+}
+
+// Parallelism returns P, the number of shard streams.
+func (ss *ShardedSampler) Parallelism() int { return len(ss.shards) }
+
+// SetRootWeights switches every shard to targeted mode (weighted RR-set
+// roots). The alias table is built once and shared read-only across
+// shards. Pass nil to return to uniform roots.
+func (ss *ShardedSampler) SetRootWeights(weights []float64) error {
+	if weights == nil {
+		for _, s := range ss.shards {
+			s.roots = nil
+		}
+		return nil
+	}
+	if len(weights) != ss.shards[0].g.NumNodes() {
+		return fmt.Errorf("rrset: %d root weights for %d nodes", len(weights), ss.shards[0].g.NumNodes())
+	}
+	a, err := xrand.NewAlias(weights)
+	if err != nil {
+		return err
+	}
+	for _, s := range ss.shards {
+		s.roots = a
+	}
+	return nil
+}
+
+// SampleManyInto generates count RR sets into c: each shard samples its
+// deterministic share concurrently into a private arena, then the arenas
+// are merged into c in shard order.
+func (ss *ShardedSampler) SampleManyInto(c *Collection, count int64) {
+	if count <= 0 {
+		return
+	}
+	p := int64(len(ss.shards))
+	if p == 1 {
+		ss.shards[0].SampleManyInto(c, count)
+		return
+	}
+	per, extra := count/p, count%p
+	var wg sync.WaitGroup
+	for i := range ss.shards {
+		n := per
+		if int64(i) < extra {
+			n++
+		}
+		buf := ss.bufs[i]
+		buf.Reset()
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Sampler, buf *Collection, n int64) {
+			defer wg.Done()
+			s.SampleManyInto(buf, n)
+		}(ss.shards[i], buf, n)
+	}
+	wg.Wait()
+	for _, buf := range ss.bufs {
+		c.AppendCollection(buf)
+	}
+}
