@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen
+.PHONY: build test race bench rrgen serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages: sharded RR generation and the
-# cluster transports run under the race detector.
+# The concurrency-sensitive packages: sharded RR generation, the cluster
+# transports, and the query service run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/rrset/...
+	$(GO) test -race ./internal/cluster/... ./internal/rrset/... ./internal/serve/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -20,3 +20,13 @@ bench:
 # level on this box).
 rrgen:
 	$(GO) run ./cmd/experiments -run rrgen
+
+# Starts the resident query service on a synthetic graph — handy for
+# poking the HTTP API with curl (see README "Serving").
+serve:
+	$(GO) run ./cmd/dimmsrv -synth-nodes 20000 -machines 2 -kmax 20 -eps-floor 0.3 -warm -listen :8080
+
+# Regenerates BENCH_SERVE.json (query-service QPS / p50 / p99 / reuse
+# rate across client concurrency levels on this box).
+bench-serve:
+	$(GO) run ./cmd/experiments -run serve

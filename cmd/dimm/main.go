@@ -46,6 +46,7 @@ func main() {
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling (requires weighted-cascade weights)")
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines per machine (0 = auto: GOMAXPROCS/machines, 1 = sequential)")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		callTimeout = flag.Duration("call-timeout", 0, "per-call deadline for TCP worker requests (0 = none); a wedged worker fails the run instead of hanging it")
 		verify      = flag.Int("verify", 0, "verify the result with this many Monte-Carlo simulations")
 		showMetrics = flag.Bool("metrics", true, "print the time/traffic breakdown")
 	)
@@ -94,7 +95,7 @@ func main() {
 		addrs := strings.Split(*workers, ",")
 		conns := make([]cluster.Conn, len(addrs))
 		for i, addr := range addrs {
-			conns[i], err = cluster.DialWorker(strings.TrimSpace(addr))
+			conns[i], err = cluster.DialWorkerTimeout(strings.TrimSpace(addr), *callTimeout)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -23,8 +23,12 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"dimm/internal/cluster"
 	"dimm/internal/diffusion"
@@ -46,6 +50,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines for this worker (0 = auto: GOMAXPROCS, 1 = sequential); must match across workers for reproducible runs")
 		seed        = flag.Uint64("seed", 1, "base random seed (same on every worker)")
 		seedIndex   = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
+		grace       = flag.Duration("shutdown-grace", 5*time.Second, "on SIGINT/SIGTERM, wait this long for the connected master to go idle before closing")
 	)
 	flag.Parse()
 
@@ -92,9 +97,25 @@ func main() {
 		Seed:        cluster.DeriveSeed(*seed, *seedIndex),
 		Parallelism: par,
 	}
-	if err := cluster.Serve(lis, func() (*cluster.Worker, error) {
+	srv := cluster.NewWorkerServer(lis, func() (*cluster.Worker, error) {
 		return cluster.NewWorker(cfg)
-	}); err != nil {
+	})
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting masters, let an
+	// in-flight request finish and its response flush, then exit 0 so a
+	// worker leaving the cluster never dies mid-frame.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v, draining (grace %v)", s, *grace)
+		if err := srv.Shutdown(*grace); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(); err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("worker %d stopped", *seedIndex)
 }

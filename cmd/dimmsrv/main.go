@@ -1,0 +1,222 @@
+// Command dimmsrv runs the resident influence-maximization query
+// service (internal/serve): it loads the graph once, keeps worker
+// clusters warm, and answers seed-set queries over HTTP from a resident
+// RR sample with per-query certified approximation bounds.
+//
+//	# serve a SNAP edge list with 4 in-process machines per collection
+//	dimmsrv -graph soc-LiveJournal1.txt -machines 4 -listen :8080
+//
+//	# query it
+//	curl -X POST localhost:8080/v1/seeds -d '{"k": 10, "eps": 0.2}'
+//	curl 'localhost:8080/v1/spread?seeds=12,99,3&rounds=10000'
+//	curl localhost:8080/statsz
+//
+// Against standalone TCP workers (cmd/dimmd), list an even number of
+// addresses: the first half backs the selection collection R1, the
+// second half the certification collection R2. The two halves must be
+// started with distinct -seed-index values so their RR streams are
+// independent — the certificate is unsound otherwise.
+//
+//	dimmsrv -graph g.bin -workers host1:7001,host2:7001,host3:7001,host4:7001
+//
+// SIGINT/SIGTERM triggers a graceful stop: the listener closes,
+// in-flight requests get -shutdown-grace to finish, then the worker
+// clusters shut down and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dimm/internal/cluster"
+	"dimm/internal/core"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dimmsrv: ")
+
+	var (
+		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
+		weights    = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
+		uniformP   = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
+		synthNodes = flag.Int("synth-nodes", 0, "generate a synthetic network with this many nodes instead of loading one")
+		synthDeg   = flag.Float64("synth-degree", 10, "average degree for the synthetic network")
+		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
+
+		listen      = flag.String("listen", ":8080", "HTTP listen address")
+		machines    = flag.Int("machines", 1, "in-process machines per RR collection")
+		workers     = flag.String("workers", "", "comma-separated TCP worker addresses, first half R1 / second half R2 (overrides -machines)")
+		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling")
+		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines per machine (0 = auto)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+
+		kMax     = flag.Int("kmax", 50, "largest admissible query seed-set size")
+		epsFloor = flag.Float64("eps-floor", 0.1, "tightest admissible query epsilon")
+		delta    = flag.Float64("delta", 0, "service-lifetime failure probability (0 = 1/n)")
+
+		cacheSize   = flag.Int("cache", 256, "LRU capacity for recent (k, eps) answers (negative disables)")
+		maxInFlight = flag.Int("max-inflight", 64, "concurrently admitted query requests; excess get 429")
+		warm        = flag.Bool("warm", false, "grow the resident sample for the hardest admissible query before accepting traffic")
+		callTimeout = flag.Duration("call-timeout", 0, "per-call deadline for TCP worker requests (0 = none)")
+		grace       = flag.Duration("shutdown-grace", 10*time.Second, "on SIGINT/SIGTERM, deadline for in-flight HTTP requests to finish")
+	)
+	flag.Parse()
+
+	model, err := diffusion.ParseModel(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := loadOrGenerate(*graphPath, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graph: %d nodes, %d edges, avg degree %.1f", g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	cfg := serve.Config{
+		Graph:       g,
+		Model:       model,
+		Subset:      *subset,
+		Seed:        *seed,
+		Machines:    *machines,
+		Parallelism: parOpt(*parallelism),
+		KMax:        *kMax,
+		EpsFloor:    *epsFloor,
+		Delta:       *delta,
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxInFlight,
+	}
+	if *workers != "" {
+		c1, c2, err := dialWorkerHalves(*workers, g.NumNodes(), *callTimeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.C1, cfg.C2 = c1, c2
+	}
+	svc, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *warm {
+		start := time.Now()
+		ans, err := svc.Warm()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warm: k=%d eps=%.2f certified at ratio %.3f with theta=%d in %.1fs",
+			svc.KMax(), svc.EpsFloor(), ans.Ratio, ans.Theta, time.Since(start).Seconds())
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	log.Printf("serving kmax=%d eps-floor=%.2f on %s", *kMax, *epsFloor, lis.Addr())
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		s := <-sig
+		log.Printf("received %v, draining (grace %v)", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := svc.Close(); err != nil {
+			log.Printf("service close: %v", err)
+		}
+	}()
+
+	if err := httpSrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+	log.Print("stopped")
+}
+
+// parOpt maps the flag convention (0 = auto) onto core's (-1 = auto).
+func parOpt(p int) int {
+	if p == 0 {
+		return core.AutoParallelism
+	}
+	return p
+}
+
+// dialWorkerHalves splits the address list into the R1 and R2 clusters.
+func dialWorkerHalves(list string, n int, callTimeout time.Duration) (*cluster.Cluster, *cluster.Cluster, error) {
+	addrs := strings.Split(list, ",")
+	if len(addrs) < 2 || len(addrs)%2 != 0 {
+		return nil, nil, fmt.Errorf("need an even number of worker addresses (R1 half + R2 half), got %d", len(addrs))
+	}
+	dial := func(addrs []string) (*cluster.Cluster, error) {
+		conns := make([]cluster.Conn, len(addrs))
+		for i, addr := range addrs {
+			c, err := cluster.DialWorkerTimeout(strings.TrimSpace(addr), callTimeout)
+			if err != nil {
+				for _, d := range conns[:i] {
+					d.Close()
+				}
+				return nil, err
+			}
+			conns[i] = c
+		}
+		return cluster.New(conns, n)
+	}
+	half := len(addrs) / 2
+	c1, err := dial(addrs[:half])
+	if err != nil {
+		return nil, nil, err
+	}
+	c2, err := dial(addrs[half:])
+	if err != nil {
+		c1.Close()
+		return nil, nil, err
+	}
+	return c1, c2, nil
+}
+
+func loadOrGenerate(path string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
+	var g *graph.Graph
+	var err error
+	switch {
+	case synthNodes > 0:
+		g, err = graph.GenPreferential(graph.GenConfig{
+			Nodes: synthNodes, AvgDegree: synthDeg, Seed: seed, UniformAttach: 0.15,
+		})
+	case path == "":
+		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
+	case strings.HasSuffix(path, ".bin"):
+		g, err = graph.ReadBinaryFile(path)
+	default:
+		g, err = graph.LoadEdgeListFile(path, undirected)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if weights == "file" {
+		return g, nil
+	}
+	wm, err := graph.ParseWeightModel(weights)
+	if err != nil {
+		return nil, err
+	}
+	return graph.AssignWeights(g, wm, uniformP, seed)
+}

@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,all (rrgen only runs when named)")
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,serve,all (rrgen and serve only run when named)")
 		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k        = flag.Int("k", 50, "seed set size")
 		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -49,6 +49,7 @@ func main() {
 		linkGbps = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
 		par      = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
 		rrgenOut = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
+		serveOut = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
 	)
 	flag.Parse()
 
@@ -122,10 +123,15 @@ func main() {
 	step("fig8", func() error { _, err := cfg.Fig8(); return err })
 	step("fig9", func() error { _, err := cfg.Fig9(); return err })
 	step("fig10", func() error { _, err := cfg.Fig10(); return err })
-	// rrgen writes BENCH_RRGEN.json, so it only runs when explicitly named.
+	// rrgen and serve write BENCH_*.json, so they only run when named.
 	if want["rrgen"] {
 		if _, err := cfg.RRGen(*rrgenOut); err != nil {
 			log.Fatalf("rrgen: %v", err)
+		}
+	}
+	if want["serve"] {
+		if _, err := cfg.Serve(*serveOut); err != nil {
+			log.Fatalf("serve: %v", err)
 		}
 	}
 }

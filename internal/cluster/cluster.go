@@ -407,6 +407,36 @@ func (c *Cluster) Reset() error {
 	return nil
 }
 
+// appendWireSets decodes a fetch payload (count u32, then len u32 +
+// members u32* per set) into the collection, returning the number of RR
+// sets appended.
+func appendWireSets(rest []byte, into *rrset.Collection) (int, error) {
+	count, rest, err := consumeU32(rest)
+	if err != nil {
+		return 0, err
+	}
+	var members []uint32
+	for j := uint32(0); j < count; j++ {
+		var l uint32
+		if l, rest, err = consumeU32(rest); err != nil {
+			return 0, err
+		}
+		if int(l)*4 > len(rest) {
+			return 0, fmt.Errorf("truncated RR set %d", j)
+		}
+		if cap(members) < int(l) {
+			members = make([]uint32, l)
+		}
+		members = members[:l]
+		for m := uint32(0); m < l; m++ {
+			members[m] = binary.LittleEndian.Uint32(rest[m*4:])
+		}
+		rest = rest[l*4:]
+		into.Append(members, 0)
+	}
+	return int(count), nil
+}
+
 // GatherAll pulls every worker's entire RR collection into one in-memory
 // collection at the master — the naive strategy of Haque and Banerjee
 // that §II-B argues against. It is provided as a measurable baseline:
@@ -427,29 +457,61 @@ func (c *Cluster) GatherAll() (*rrset.Collection, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		handlers[i] = time.Duration(nanos)
-		count, rest, err := consumeU32(rest)
-		if err != nil {
-			return nil, err
-		}
-		for j := uint32(0); j < count; j++ {
-			var l uint32
-			if l, rest, err = consumeU32(rest); err != nil {
-				return nil, err
-			}
-			if int(l)*4 > len(rest) {
-				return nil, fmt.Errorf("cluster: worker %d: truncated RR set %d", i, j)
-			}
-			members := make([]uint32, l)
-			for m := uint32(0); m < l; m++ {
-				members[m] = binary.LittleEndian.Uint32(rest[m*4:])
-			}
-			rest = rest[l*4:]
-			union.Append(members, 0)
+		if _, err := appendWireSets(rest, union); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 	}
 	c.met.MasterCompute += time.Since(start)
 	c.met.add("sel", wall, handlers)
 	return union, nil
+}
+
+// FetchNew pulls, from each worker, only the RR sets generated since the
+// previous fetch and appends them to `into` in worker-index order —
+// which, together with each worker's deterministic shard-ordered stream,
+// makes the gathered collection's contents and order a deterministic
+// function of (seed, machines, parallelism) and the sequence of Generate
+// calls. since[i] is the count already fetched from worker i (nil means
+// zero everywhere); the returned slice carries the updated counts for
+// the next call. This is the sync primitive of the resident query
+// service: after a growth round its traffic is Θ(new RR size), not
+// Θ(total RR size) like GatherAll.
+func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
+	if since == nil {
+		since = make([]int, len(c.conns))
+	}
+	if len(since) != len(c.conns) {
+		return nil, fmt.Errorf("cluster: %d fetch cursors for %d workers", len(since), len(c.conns))
+	}
+	if into == nil {
+		return nil, fmt.Errorf("cluster: nil destination collection")
+	}
+	reqs := make([][]byte, len(c.conns))
+	for i := range reqs {
+		reqs[i] = encodeFetchSinceReq(int64(since[i]))
+	}
+	resps, wall, err := c.broadcast(reqs)
+	if err != nil {
+		return nil, err
+	}
+	handlers := make([]time.Duration, len(resps))
+	next := make([]int, len(since))
+	start := time.Now()
+	for i, resp := range resps {
+		nanos, rest, err := decodeRespHeader(resp)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		added, err := appendWireSets(rest, into)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		next[i] = since[i] + added
+	}
+	c.met.MasterCompute += time.Since(start)
+	c.met.add("sel", wall, handlers)
+	return next, nil
 }
 
 // EstimateSpread estimates σ(seeds) by forward Monte-Carlo simulation

@@ -27,6 +27,7 @@ const (
 	msgFetchAll    = byte(8)  // ship the worker's entire RR collection to the master
 	msgEstimate    = byte(9)  // forward Monte-Carlo influence estimation of a seed set
 	msgCoverage    = byte(10) // count RR sets covered by a fixed seed set
+	msgFetchSince  = byte(11) // ship only the RR sets generated since a given id
 	msgError       = byte(0x7f)
 )
 
@@ -161,6 +162,13 @@ func decodeCoverageReq(payload []byte) ([]uint32, error) {
 		seeds[i] = binary.LittleEndian.Uint32(rest[i*4:])
 	}
 	return seeds, nil
+}
+
+// encodeFetchSinceReq asks a worker for the wire encoding of the RR sets
+// it generated since id `from` (the incremental gather of a resident
+// query service; msgFetchAll remains the from-zero special case).
+func encodeFetchSinceReq(from int64) []byte {
+	return appendI64([]byte{msgFetchSince}, from)
 }
 
 // --- response encoding -----------------------------------------------------

@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Conn is a reliable, ordered request/response pipe to one worker. Call
@@ -112,15 +115,45 @@ func readFrame(r io.Reader, maxSize uint32) ([]byte, error) {
 // from triggering absurd allocations.
 const maxFrameSize = 1 << 30
 
-// tcpConn is the master's handle to a worker over a socket.
-type tcpConn struct {
-	nc   net.Conn
-	sent int64
-	recv int64
+// CallTimeoutError reports a TCP worker call that exceeded its per-call
+// deadline. The connection is unusable afterwards (the response frame
+// boundary is lost), so subsequent Calls fail fast; detect the condition
+// with errors.As and rebuild the session.
+type CallTimeoutError struct {
+	Addr  string
+	After time.Duration // the per-call deadline that was exceeded
 }
 
-// DialWorker connects to a worker served by Serve at addr.
+func (e *CallTimeoutError) Error() string {
+	return fmt.Sprintf("cluster: call to worker %s exceeded the %v timeout", e.Addr, e.After)
+}
+
+// Timeout marks the error as a timeout for callers testing net.Error
+// semantics generically.
+func (e *CallTimeoutError) Timeout() bool { return true }
+
+// tcpConn is the master's handle to a worker over a socket.
+type tcpConn struct {
+	nc      net.Conn
+	addr    string
+	timeout time.Duration // 0 = block forever
+	broken  bool          // a timed-out call poisoned the frame stream
+	sent    int64
+	recv    int64
+}
+
+// DialWorker connects to a worker served by Serve at addr. Calls block
+// until the worker replies; use DialWorkerTimeout to bound them.
 func DialWorker(addr string) (Conn, error) {
+	return DialWorkerTimeout(addr, 0)
+}
+
+// DialWorkerTimeout connects to a worker served by Serve at addr, with a
+// per-call deadline covering each request/response round trip (0 means
+// block forever, like DialWorker). A call that overruns the deadline
+// returns a *CallTimeoutError instead of hanging the master on a wedged
+// worker, and marks the connection broken.
+func DialWorkerTimeout(addr string, callTimeout time.Duration) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dialing worker %s: %w", addr, err)
@@ -128,20 +161,42 @@ func DialWorker(addr string) (Conn, error) {
 	if t, ok := nc.(*net.TCPConn); ok {
 		_ = t.SetNoDelay(true)
 	}
-	return &tcpConn{nc: nc}, nil
+	return &tcpConn{nc: nc, addr: addr, timeout: callTimeout}, nil
 }
 
 func (c *tcpConn) Call(req []byte) ([]byte, error) {
+	if c.broken {
+		return nil, fmt.Errorf("cluster: connection to worker %s is broken after a timed-out call", c.addr)
+	}
+	if c.timeout > 0 {
+		if err := c.nc.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("cluster: arming call deadline: %w", err)
+		}
+	}
 	if err := writeFrame(c.nc, req); err != nil {
-		return nil, fmt.Errorf("cluster: sending request: %w", err)
+		return nil, c.callError("sending request", err)
 	}
 	c.sent += int64(len(req))
 	resp, err := readFrame(c.nc, maxFrameSize)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: reading response: %w", err)
+		return nil, c.callError("reading response", err)
 	}
 	c.recv += int64(len(resp))
+	if c.timeout > 0 {
+		_ = c.nc.SetDeadline(time.Time{})
+	}
 	return resp, nil
+}
+
+// callError wraps a transport error, converting deadline overruns into
+// the typed *CallTimeoutError.
+func (c *tcpConn) callError(op string, err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		c.broken = true
+		return &CallTimeoutError{Addr: c.addr, After: c.timeout}
+	}
+	return fmt.Errorf("cluster: %s: %w", op, err)
 }
 
 func (c *tcpConn) Bytes() (int64, int64) { return c.sent, c.recv }
@@ -154,18 +209,112 @@ func (c *tcpConn) Close() error { return c.nc.Close() }
 // one-master model. newWorker is invoked per connection so state never
 // leaks across masters.
 func Serve(lis net.Listener, newWorker func() (*Worker, error)) error {
+	return NewWorkerServer(lis, newWorker).Serve()
+}
+
+// WorkerServer serves the worker protocol with graceful shutdown: on
+// Shutdown it stops accepting masters, lets the in-flight request finish
+// and its response flush, then closes the connection. cmd/dimmd wires it
+// to SIGINT/SIGTERM so a worker leaving a cluster never dies mid-frame.
+type WorkerServer struct {
+	lis       net.Listener
+	newWorker func() (*Worker, error)
+
+	mu       sync.Mutex
+	active   net.Conn
+	draining atomic.Bool
+	done     chan struct{}
+}
+
+// NewWorkerServer wraps a listener; call Serve to start handling masters.
+func NewWorkerServer(lis net.Listener, newWorker func() (*Worker, error)) *WorkerServer {
+	return &WorkerServer{lis: lis, newWorker: newWorker, done: make(chan struct{})}
+}
+
+// Serve handles one master connection after another until the listener
+// closes. It returns nil after a Shutdown-initiated stop, the accept
+// error otherwise.
+func (s *WorkerServer) Serve() error {
+	defer close(s.done)
 	for {
-		nc, err := lis.Accept()
+		nc, err := s.lis.Accept()
 		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
 			return err
 		}
-		w, err := newWorker()
+		w, err := s.newWorker()
 		if err != nil {
 			nc.Close()
 			return err
 		}
-		serveConn(nc, w)
+		s.mu.Lock()
+		s.active = nc
+		drain := s.draining.Load()
+		s.mu.Unlock()
+		if drain { // Shutdown raced the accept: refuse the session
+			nc.Close()
+			return nil
+		}
+		s.serveConn(nc, w)
+		s.mu.Lock()
+		s.active = nil
+		s.mu.Unlock()
+		if s.draining.Load() {
+			return nil
+		}
 	}
+}
+
+func (s *WorkerServer) serveConn(nc net.Conn, w *Worker) {
+	defer nc.Close()
+	for {
+		req, err := readFrame(nc, maxFrameSize)
+		if err != nil {
+			return // EOF, broken pipe, or the drain deadline expired
+		}
+		if err := writeFrame(nc, w.Handle(req)); err != nil {
+			return
+		}
+		if s.draining.Load() {
+			return // in-flight frame answered; drain complete
+		}
+	}
+}
+
+// Shutdown stops accepting new masters and drains the in-flight request:
+// the current frame (if any) is answered, then the connection closes. A
+// session idle in readFrame is given at most grace to produce its next
+// frame; past the deadline the connection is closed forcibly. Safe to
+// call from a signal handler goroutine; returns once Serve has exited.
+func (s *WorkerServer) Shutdown(grace time.Duration) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		<-s.done
+		return nil
+	}
+	s.lis.Close()
+	deadline := time.Now().Add(grace)
+	s.mu.Lock()
+	if s.active != nil {
+		// Bound the wait for the *next* frame; the frame already being
+		// handled still gets its response written.
+		_ = s.active.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+	case <-time.After(grace + time.Second):
+		// Backstop: a handler stuck past the grace period loses its
+		// connection rather than wedging the process exit.
+		s.mu.Lock()
+		if s.active != nil {
+			s.active.Close()
+		}
+		s.mu.Unlock()
+		<-s.done
+	}
+	return nil
 }
 
 // StartLoopbackWorker is a convenience for tests, benchmarks and examples:
@@ -185,17 +334,4 @@ func StartLoopbackWorker(cfg WorkerConfig) (net.Listener, Conn, error) {
 		return nil, nil, err
 	}
 	return lis, conn, nil
-}
-
-func serveConn(nc net.Conn, w *Worker) {
-	defer nc.Close()
-	for {
-		req, err := readFrame(nc, maxFrameSize)
-		if err != nil {
-			return // EOF or broken pipe: master went away
-		}
-		if err := writeFrame(nc, w.Handle(req)); err != nil {
-			return
-		}
-	}
 }

@@ -172,7 +172,17 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		return encodeAckResp(time.Since(start).Nanoseconds()), nil
 
 	case msgFetchAll:
-		return w.fetchAll(start), nil
+		return w.fetchRange(start, 0), nil
+
+	case msgFetchSince:
+		from, _, err := consumeI64(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		if from < 0 || from > int64(w.coll.Count()) {
+			return nil, fmt.Errorf("fetch-since id %d outside [0, %d]", from, w.coll.Count())
+		}
+		return w.fetchRange(start, int(from)), nil
 
 	case msgEstimate:
 		seeds, rounds, err := decodeEstimateReq(req[1:])
@@ -340,15 +350,17 @@ func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
 	return w.drainScratch(), nil
 }
 
-// fetchAll serializes this worker's entire RR collection — the gather-all
-// strategy of Haque and Banerjee that §II-B argues against. It exists as
-// a measurable baseline: the response is Θ(total RR size) bytes, versus
-// NEWGREEDI's O(k·n) for a whole selection run.
-func (w *Worker) fetchAll(start time.Time) []byte {
-	b := make([]byte, 0, 1+8+w.coll.WireSize())
+// fetchRange serializes the worker's RR sets [from, Count()). With from
+// = 0 this is the gather-all strategy of Haque and Banerjee that §II-B
+// argues against (kept as a measurable baseline: Θ(total RR size) bytes
+// versus NEWGREEDI's O(k·n) per selection run); with a positive from it
+// is the incremental sync a resident query service issues after each
+// generation round, whose traffic is Θ(new RR size) only.
+func (w *Worker) fetchRange(start time.Time, from int) []byte {
+	b := make([]byte, 0, 1+8+w.coll.WireSizeRange(from))
 	b = append(b, 0)
 	b = appendI64(b, 0) // handler nanos patched below
-	b = w.coll.AppendWire(b)
+	b = w.coll.AppendWireRange(b, from)
 	binary.LittleEndian.PutUint64(b[1:9], uint64(time.Since(start).Nanoseconds()))
 	return b
 }

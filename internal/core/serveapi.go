@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dimm/internal/coverage"
+	"dimm/internal/imm"
+	"dimm/internal/rrset"
+)
+
+// This file is the query-time API of the resident serving path
+// (internal/serve): selection over an *existing* RR-set collection and
+// the OPIM-C per-query certificate, decoupled from the one-shot
+// sample-then-select drivers above. The paper's framework makes the
+// decoupling sound — an RR collection valid for (k_max, ε, δ) supports
+// greedy selection at any k ≤ k_max, and the OPIM-C bound certifies the
+// achieved ratio of that selection against the sample it was drawn from.
+
+// SampleBudget sizes a resident RR sample for a serving deployment
+// handling any query with k ≤ kMax and ε ≥ epsFloor.
+type SampleBudget struct {
+	Theta0   int64   // initial resident collection size
+	ThetaMax int64   // growth cap: IMM's worst case for (kMax, epsFloor)
+	TailMass float64 // per-certificate Chernoff mass a
+}
+
+// PlanResidentSample derives the budget from the OPIM-C plans of every
+// admissible query size at epsFloor, taking the worst case over
+// k = 1..kMax. The binding constraint is the small-k end: a small seed
+// set covers few RR sets, so its certificate carries relatively more
+// Chernoff slack and needs a larger sample than kMax does (OPIM-C's
+// θ_max grows as 1/k). The tail mass additionally takes a union bound
+// over the kMax possible query sizes, so that every certificate issued
+// over the sample's lifetime — any k, any growth epoch — simultaneously
+// holds with probability at least 1 − δ.
+func PlanResidentSample(n, kMax int, epsFloor, delta float64) (SampleBudget, error) {
+	var b SampleBudget
+	for k := 1; k <= kMax; k++ {
+		plan, err := imm.PlanOPIMC(n, k, epsFloor, delta)
+		if err != nil {
+			return SampleBudget{}, err
+		}
+		if k == 1 || plan.Theta0 < b.Theta0 {
+			b.Theta0 = plan.Theta0
+		}
+		if plan.ThetaMax > b.ThetaMax {
+			b.ThetaMax = plan.ThetaMax
+		}
+		if plan.A > b.TailMass {
+			b.TailMass = plan.A
+		}
+	}
+	b.TailMass += math.Log(float64(kMax))
+	return b, nil
+}
+
+// SelectFromSample runs the exact lazy-bucket greedy over an existing
+// collection and its inverted index, without generating a single RR set.
+// All selection state (covered labels, degree vector, scratch) is local
+// to the call, so concurrent selections over the same immutable
+// collection are safe — the read side of the serve layer's epoch scheme.
+func SelectFromSample(c *rrset.Collection, idx *rrset.Index, n, k int) (*coverage.Result, error) {
+	if c == nil || idx == nil {
+		return nil, fmt.Errorf("core: select from nil sample")
+	}
+	o, err := coverage.NewLocalOracle(c, idx, n)
+	if err != nil {
+		return nil, err
+	}
+	return coverage.RunGreedy(o, k)
+}
+
+// CertifySelection computes the per-query OPIM-C certificate for a seed
+// set whose greedy coverage on the resident R1 is cov1 and whose
+// coverage on the independent resident R2 is cov2, both of size theta.
+// The answer is a (1 − 1/e − ε)-approximation whenever the returned
+// ratio reaches 1 − 1/e − ε.
+func CertifySelection(n int, theta, cov1, cov2 int64, tailMass float64) imm.Certificate {
+	return imm.CertifyOPIM(n, theta, cov1, cov2, tailMass)
+}

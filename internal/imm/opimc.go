@@ -47,18 +47,28 @@ type OPIMResult struct {
 	Elapsed     time.Duration
 }
 
-// RunOPIMC executes the OPIM-C stopping rule over the engine for a
+// OPIMPlan is the sampling schedule of an OPIM-C run: the initial and
+// maximum collection sizes, the doubling-round budget, and the per-round
+// Chernoff tail mass the certificate charges against δ. A long-lived
+// query service sizes its resident sample from the same plan (see
+// internal/serve), which is why the planning math lives apart from the
+// stopping-rule driver.
+type OPIMPlan struct {
+	Theta0   int64   // initial collection size
+	ThetaMax int64   // IMM's worst-case size with OPT lower-bounded by k
+	IMax     int     // doubling-round budget
+	A        float64 // per-certificate tail mass ln(3·i_max/δ)
+}
+
+// PlanOPIMC derives the OPIM-C sampling schedule for a
 // (1 − 1/e − ε)-approximation with probability at least 1 − δ.
-func RunOPIMC(e DualEngine, n, k int, eps, delta float64) (*OPIMResult, error) {
+func PlanOPIMC(n, k int, eps, delta float64) (OPIMPlan, error) {
 	if n < 2 || k < 1 || k > n {
-		return nil, fmt.Errorf("imm: invalid OPIM-C instance n=%d k=%d", n, k)
+		return OPIMPlan{}, fmt.Errorf("imm: invalid OPIM-C instance n=%d k=%d", n, k)
 	}
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("imm: eps=%v delta=%v outside (0,1)", eps, delta)
+		return OPIMPlan{}, fmt.Errorf("imm: eps=%v delta=%v outside (0,1)", eps, delta)
 	}
-	start := time.Now()
-	target := 1 - 1/math.E - eps
-
 	// θ_max is IMM's worst-case sample size with OPT lower-bounded by k;
 	// OPIM-C's budget split gives each collection half the failure
 	// probability mass across i_max doubling rounds.
@@ -74,11 +84,62 @@ func RunOPIMC(e DualEngine, n, k int, eps, delta float64) (*OPIMResult, error) {
 	if iMax < 1 {
 		iMax = 1
 	}
-	// Per-round tail mass a = ln(3·i_max/δ) for each of the two bounds.
-	a := math.Log(3 * float64(iMax) / delta)
+	return OPIMPlan{
+		Theta0:   theta0,
+		ThetaMax: thetaMax,
+		IMax:     iMax,
+		A:        math.Log(3 * float64(iMax) / delta),
+	}, nil
+}
+
+// Certificate is the OPIM-C online bound for one seed set evaluated
+// against a pair of independent RR-set collections of size theta.
+type Certificate struct {
+	SpreadLower float64 // certified lower bound of σ(S)
+	OptUpper    float64 // certified upper bound of OPT
+	Ratio       float64 // SpreadLower / OptUpper
+}
+
+// CertifyOPIM computes the online approximation certificate for a seed
+// set whose greedy coverage on R1 is cov1 and whose coverage on the
+// independent collection R2 is cov2, both of size theta over an n-node
+// graph, with per-certificate tail mass a.
+func CertifyOPIM(n int, theta, cov1, cov2 int64, a float64) Certificate {
+	if theta <= 0 {
+		return Certificate{}
+	}
+	cnt := float64(theta)
+	// Lower bound on σ(S) from its coverage on the independent R2
+	// (Chernoff lower-tail inversion, OPIM Lemma 4.2 shape).
+	l := float64(cov2)
+	sigmaLower := (math.Pow(math.Sqrt(l+2*a/9)-math.Sqrt(a/2), 2) - a/18) * float64(n) / cnt
+	if sigmaLower < 0 {
+		sigmaLower = 0
+	}
+	// Upper bound on OPT from the greedy's coverage on R1: the greedy
+	// covers at least (1−1/e)·Λ1(S°), so Λ1(S°) ≤ Λ1(S)/(1−1/e); add
+	// the upper-tail slack (OPIM Lemma 4.3 shape).
+	u := float64(cov1) / (1 - 1/math.E)
+	optUpper := math.Pow(math.Sqrt(u+a/2)+math.Sqrt(a/2), 2) * float64(n) / cnt
+	c := Certificate{SpreadLower: sigmaLower, OptUpper: optUpper}
+	if optUpper > 0 {
+		c.Ratio = sigmaLower / optUpper
+	}
+	return c
+}
+
+// RunOPIMC executes the OPIM-C stopping rule over the engine for a
+// (1 − 1/e − ε)-approximation with probability at least 1 − δ.
+func RunOPIMC(e DualEngine, n, k int, eps, delta float64) (*OPIMResult, error) {
+	plan, err := PlanOPIMC(n, k, eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	target := 1 - 1/math.E - eps
 
 	res := &OPIMResult{}
-	theta := theta0
+	theta := plan.Theta0
 	for round := 1; ; round++ {
 		res.Rounds = round
 		if err := e.Generate(theta); err != nil {
@@ -92,36 +153,20 @@ func RunOPIMC(e DualEngine, n, k int, eps, delta float64) (*OPIMResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("imm: opim-c evaluation round %d: %w", round, err)
 		}
-		cnt := float64(e.Count())
-		// Lower bound on σ(S) from its coverage on the independent R2
-		// (Chernoff lower-tail inversion, OPIM Lemma 4.2 shape).
-		l := float64(cov2)
-		sigmaLower := (math.Pow(math.Sqrt(l+2*a/9)-math.Sqrt(a/2), 2) - a/18) * float64(n) / cnt
-		if sigmaLower < 0 {
-			sigmaLower = 0
-		}
-		// Upper bound on OPT from the greedy's coverage on R1: the greedy
-		// covers at least (1−1/e)·Λ1(S°), so Λ1(S°) ≤ Λ1(S)/(1−1/e); add
-		// the upper-tail slack (OPIM Lemma 4.3 shape).
-		u := float64(sel.Coverage) / (1 - 1/math.E)
-		optUpper := math.Pow(math.Sqrt(u+a/2)+math.Sqrt(a/2), 2) * float64(n) / cnt
-		ratio := 0.0
-		if optUpper > 0 {
-			ratio = sigmaLower / optUpper
-		}
-		if ratio >= target || theta >= thetaMax {
+		cert := CertifyOPIM(n, e.Count(), sel.Coverage, cov2, plan.A)
+		if cert.Ratio >= target || theta >= plan.ThetaMax {
 			res.Seeds = sel.Seeds
 			res.Theta = e.Count()
-			res.SpreadLower = sigmaLower
-			res.OptUpper = optUpper
-			res.Ratio = ratio
-			res.EstSpread = float64(n) * float64(cov2) / cnt
+			res.SpreadLower = cert.SpreadLower
+			res.OptUpper = cert.OptUpper
+			res.Ratio = cert.Ratio
+			res.EstSpread = float64(n) * float64(cov2) / float64(e.Count())
 			res.Elapsed = time.Since(start)
 			return res, nil
 		}
 		theta *= 2
-		if theta > thetaMax {
-			theta = thetaMax
+		if theta > plan.ThetaMax {
+			theta = plan.ThetaMax
 		}
 	}
 }

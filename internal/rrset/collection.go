@@ -85,7 +85,16 @@ func (c *Collection) AppendCollection(o *Collection) {
 // WireSize returns the number of bytes AppendWire adds: a u32 set count,
 // then per set a u32 length plus its u32 members.
 func (c *Collection) WireSize() int {
-	return 4 + 4*c.Count() + 4*int(c.TotalSize())
+	return c.WireSizeRange(0)
+}
+
+// WireSizeRange returns the number of bytes AppendWireRange(b, from) adds.
+func (c *Collection) WireSizeRange(from int) int {
+	count := c.Count() - from
+	if count <= 0 {
+		return 4
+	}
+	return 4 + 4*count + 4*int(c.offs[c.Count()]-c.offs[from])
 }
 
 // AppendWire appends the collection's little-endian wire encoding to b —
@@ -93,17 +102,31 @@ func (c *Collection) WireSize() int {
 // per set). The buffer is grown once and filled by index, which is
 // measurably faster than appending one u32 at a time.
 func (c *Collection) AppendWire(b []byte) []byte {
+	return c.AppendWireRange(b, 0)
+}
+
+// AppendWireRange appends the wire encoding of the RR sets [from,
+// Count()) to b, in the same layout as AppendWire. It is the payload of
+// the incremental fetch a resident query service uses to pull only the
+// sets a worker generated since the previous sync.
+func (c *Collection) AppendWireRange(b []byte, from int) []byte {
+	if from < 0 {
+		from = 0
+	}
+	if from > c.Count() {
+		from = c.Count()
+	}
 	off := len(b)
-	need := c.WireSize()
+	need := c.WireSizeRange(from)
 	if cap(b)-off < need {
 		grown := make([]byte, off, off+need)
 		copy(grown, b)
 		b = grown
 	}
 	b = b[:off+need]
-	binary.LittleEndian.PutUint32(b[off:], uint32(c.Count()))
+	binary.LittleEndian.PutUint32(b[off:], uint32(c.Count()-from))
 	off += 4
-	for i := 0; i < c.Count(); i++ {
+	for i := from; i < c.Count(); i++ {
 		set := c.nodes[c.offs[i]:c.offs[i+1]]
 		binary.LittleEndian.PutUint32(b[off:], uint32(len(set)))
 		off += 4
@@ -113,6 +136,44 @@ func (c *Collection) AppendWire(b []byte) []byte {
 		}
 	}
 	return b
+}
+
+// Snapshot is an immutable view of a Collection prefix. Because the
+// collection is append-only, the arena bytes a snapshot references are
+// never rewritten by later Appends (growth either extends in place past
+// the snapshot's length or reallocates, leaving the old backing array
+// intact), so a snapshot taken under a lock stays safe to read after the
+// lock is released — the accessor a concurrent query service hands to
+// readers while a grower extends the live collection. Reset breaks this
+// guarantee (it reuses the arena in place): snapshots must not outlive a
+// Reset of their collection.
+type Snapshot struct {
+	nodes []uint32
+	offs  []int64
+}
+
+// Snapshot captures the current contents as an immutable view. The
+// caller must synchronize the call itself against concurrent Appends
+// (e.g. take it under the read side of the lock that guards growth).
+func (c *Collection) Snapshot() Snapshot {
+	return Snapshot{nodes: c.nodes, offs: c.offs}
+}
+
+// Count returns the number of RR sets in the snapshot.
+func (s Snapshot) Count() int { return len(s.offs) - 1 }
+
+// TotalSize returns the summed cardinality of the snapshot's RR sets.
+func (s Snapshot) TotalSize() int64 {
+	if s.Count() <= 0 {
+		return 0
+	}
+	return s.offs[s.Count()]
+}
+
+// Set returns the members of RR set i; the slice aliases the arena and
+// must not be modified.
+func (s Snapshot) Set(i int) []uint32 {
+	return s.nodes[s.offs[i]:s.offs[i+1]]
 }
 
 // AvgSize returns the mean RR-set cardinality (the empirical EPS).

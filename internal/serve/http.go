@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/seeds   {"k": 10, "eps": 0.2}        → Answer
+//	GET  /v1/spread?seeds=1,2,3&rounds=10000      → spread estimate
+//	GET  /healthz                                 → 200 "ok"
+//	GET  /statsz                                  → Stats
+//
+// The two query endpoints sit behind admission control: at most
+// Config.MaxInFlight requests run concurrently, the rest get 429 so a
+// load spike degrades into fast rejections instead of a convoy on the
+// sample locks.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/seeds", s.instrument("seeds", true, s.handleSeeds))
+	mux.HandleFunc("GET /v1/spread", s.instrument("spread", true, s.handleSpread))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) error {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return nil
+	}))
+	mux.HandleFunc("GET /statsz", s.instrument("statsz", false, func(w http.ResponseWriter, r *http.Request) error {
+		writeJSON(w, http.StatusOK, s.Stats())
+		return nil
+	}))
+	return mux
+}
+
+// instrument wraps a handler with admission control (when gated) and the
+// per-endpoint latency/error accounting behind /statsz. Handlers signal
+// a client error by returning an *httpError or a serve.BadQueryError;
+// anything else is a 500.
+func (s *Service) instrument(name string, gated bool, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	ep := s.http.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if gated {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.http.rejected.Add(1)
+				writeJSON(w, http.StatusTooManyRequests,
+					errBody{Error: "server at capacity, retry later"})
+				return
+			}
+		}
+		start := time.Now()
+		err := h(w, r)
+		ep.record(time.Since(start), err != nil)
+		if err == nil {
+			return
+		}
+		var he *httpError
+		var bad *BadQueryError
+		switch {
+		case errors.As(err, &he):
+			writeJSON(w, he.status, errBody{Error: he.msg})
+		case errors.As(err, &bad):
+			writeJSON(w, http.StatusBadRequest, errBody{Error: bad.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errBody{Error: err.Error()})
+		}
+	}
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type seedsRequest struct {
+	K   int     `json:"k"`
+	Eps float64 `json:"eps"`
+}
+
+func (s *Service) handleSeeds(w http.ResponseWriter, r *http.Request) error {
+	var req seedsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	ans, err := s.Query(req.K, req.Eps)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, ans)
+	return nil
+}
+
+type spreadResponse struct {
+	Seeds  []uint32 `json:"seeds"`
+	Rounds int64    `json:"rounds"`
+	Mean   float64  `json:"mean"`
+	Stderr float64  `json:"stderr"`
+}
+
+func (s *Service) handleSpread(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	raw := q.Get("seeds")
+	if raw == "" {
+		return &httpError{http.StatusBadRequest, "missing seeds parameter (comma-separated node ids)"}
+	}
+	parts := strings.Split(raw, ",")
+	seeds := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return &httpError{http.StatusBadRequest, "bad seed id " + strconv.Quote(p)}
+		}
+		seeds = append(seeds, uint32(v))
+	}
+	rounds := int64(10_000)
+	if rs := q.Get("rounds"); rs != "" {
+		v, err := strconv.ParseInt(rs, 10, 64)
+		if err != nil {
+			return &httpError{http.StatusBadRequest, "bad rounds value " + strconv.Quote(rs)}
+		}
+		rounds = v
+	}
+	mean, stderr, err := s.Spread(seeds, rounds)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, spreadResponse{Seeds: seeds, Rounds: rounds, Mean: mean, Stderr: stderr})
+	return nil
+}

@@ -1,0 +1,547 @@
+// Package serve is the resident influence-maximization query service:
+// the long-lived counterpart to the one-shot drivers in internal/core.
+// A Service loads the graph once, keeps a cluster of sampling workers
+// warm across requests, and maintains a resident pair of RR-set
+// collections (R1 drives greedy selection through its segmented inverted
+// index, the independent R2 backs the per-query OPIM-C certificate)
+// sized for a configured (k_max, ε_floor, δ).
+//
+// A query (k, ε) is answered from the resident sample whenever the
+// certificate already reaches 1 − 1/e − ε — zero new RR generation, the
+// amortize-the-sketch economics of sketch-based influence oracles — and
+// only otherwise triggers an incremental doubling round: the clusters
+// generate, the master pulls just the new sets (cluster.FetchNew), and
+// the inverted indexes extend in place (rrset.Index.AppendFrom).
+//
+// Concurrency follows an RWMutex epoch scheme: any number of readers
+// select seeds over the resident sample concurrently (selection state is
+// per-query), while at most one grower extends it; the slow part of
+// growth (cluster RPCs) happens outside the write lock, which is held
+// only for the append + reindex. Every answer is a deterministic
+// function of (seed, machines, parallelism, epoch).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dimm/internal/cluster"
+	"dimm/internal/core"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/imm"
+	"dimm/internal/rrset"
+)
+
+// Config describes a Service deployment.
+type Config struct {
+	Graph *graph.Graph
+	Model diffusion.Model
+	// Subset enables SUBSIM subset sampling on the workers.
+	Subset bool
+	// Seed is the base RNG seed; the R1/R2 clusters sample independent
+	// streams derived from it exactly like core.RunDOPIMC.
+	Seed uint64
+	// Machines is ℓ, the number of workers per collection (default 1).
+	// Ignored when C1/C2 are supplied.
+	Machines int
+	// Parallelism is the per-worker shard count (see core.Options).
+	Parallelism int
+
+	// KMax bounds the admissible query seed-set size (default 50).
+	KMax int
+	// EpsFloor is the tightest admissible query ε (default 0.1); the
+	// resident sample's growth cap is sized for (KMax, EpsFloor).
+	EpsFloor float64
+	// Delta is the service-lifetime failure probability (default 1/n):
+	// with probability ≥ 1 − δ, every certificate ever issued is valid.
+	Delta float64
+
+	// CacheSize bounds the LRU of recent (k, ε) answers (default 256;
+	// negative disables caching).
+	CacheSize int
+	// MaxInFlight bounds concurrently admitted HTTP requests; excess
+	// requests get 429 (default 64).
+	MaxInFlight int
+
+	// C1/C2 optionally supply pre-built clusters (e.g. TCP workers dialed
+	// by cmd/dimmsrv) backing R1 and R2. Both must be set together; the
+	// Service takes ownership and closes them. Their workers must sample
+	// independent streams for the certificate to be sound.
+	C1, C2 *cluster.Cluster
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 1
+	}
+	if c.KMax == 0 {
+		c.KMax = 50
+	}
+	if c.EpsFloor == 0 {
+		c.EpsFloor = 0.1
+	}
+	if c.Delta == 0 && c.Graph != nil {
+		c.Delta = 1 / float64(c.Graph.NumNodes())
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	return c
+}
+
+// Answer is one served seed-set query.
+type Answer struct {
+	K     int      `json:"k"`
+	Eps   float64  `json:"eps"`
+	Seeds []uint32 `json:"seeds"`
+
+	// Epoch identifies the resident-sample generation the answer was
+	// computed on; Theta is that sample's size (per collection).
+	Epoch uint64 `json:"epoch"`
+	Theta int64  `json:"theta"`
+
+	// The OPIM-C certificate: σ(Seeds) ≥ SpreadLower and OPT ≤ OptUpper,
+	// each with the service's δ budget, so Ratio ≥ 1 − 1/e − ε certifies
+	// the approximation.
+	SpreadLower float64 `json:"spread_lower"`
+	OptUpper    float64 `json:"opt_upper"`
+	Ratio       float64 `json:"ratio"`
+	// EstSpread is the unbiased point estimate n·cov2/θ from R2.
+	EstSpread float64 `json:"est_spread"`
+
+	// GrowRounds counts the doubling rounds this query triggered (0 = the
+	// resident sample was reused as-is). Cached marks an LRU hit.
+	GrowRounds int  `json:"grow_rounds"`
+	Cached     bool `json:"cached"`
+}
+
+// BadQueryError reports an inadmissible query; the HTTP layer maps it to
+// a 400 instead of a 500.
+type BadQueryError struct{ msg string }
+
+func (e *BadQueryError) Error() string { return e.msg }
+
+func badQueryf(format string, args ...any) error {
+	return &BadQueryError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Service is the resident query service. Create with New, serve HTTP via
+// Handler, and Close when done.
+type Service struct {
+	cfg    Config
+	n      int
+	budget core.SampleBudget
+
+	// clusterMu serializes all RPCs on the warm clusters (the cluster
+	// types are single-caller); only the grower and Spread take it.
+	clusterMu sync.Mutex
+	c1, c2    *cluster.Cluster
+
+	// mu is the epoch lock: read-held during selection/certification,
+	// write-held only while growth appends and reindexes.
+	mu         sync.RWMutex
+	epoch      uint64
+	r1, r2     *rrset.Collection
+	idx1, idx2 *rrset.Index
+	fetched1   []int // per-worker fetch cursors into the R1 cluster
+	fetched2   []int
+
+	// growMu admits one grower at a time; queries needing more sample
+	// queue on it and re-check the epoch afterwards.
+	growMu sync.Mutex
+
+	cache *answerCache
+	sem   chan struct{} // admission-control slots (HTTP layer)
+
+	stats serviceCounters
+	http  httpCounters
+
+	closed atomic.Bool
+}
+
+// serviceCounters is the query-path accounting exposed on /statsz.
+type serviceCounters struct {
+	queries    atomic.Int64 // Query calls that produced an answer
+	cacheHits  atomic.Int64 // served from the LRU
+	reuseHits  atomic.Int64 // served from the resident sample, zero growth
+	growRounds atomic.Int64 // doubling rounds executed
+	generated  atomic.Int64 // RR sets generated since startup (R1 + R2)
+}
+
+// New builds the service and its warm clusters. The resident sample
+// starts empty; the first query (or Warm) grows it to θ₀ and onward.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: config needs a graph")
+	}
+	n := cfg.Graph.NumNodes()
+	if cfg.KMax < 1 || cfg.KMax >= n {
+		return nil, fmt.Errorf("serve: kmax %d outside [1, %d)", cfg.KMax, n)
+	}
+	if cfg.EpsFloor <= 0 || cfg.EpsFloor >= 1 {
+		return nil, fmt.Errorf("serve: eps floor %v outside (0, 1)", cfg.EpsFloor)
+	}
+	budget, err := core.PlanResidentSample(n, cfg.KMax, cfg.EpsFloor, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:    cfg,
+		n:      n,
+		budget: budget,
+		r1:     rrset.NewCollection(1 << 16),
+		r2:     rrset.NewCollection(1 << 16),
+		cache:  newAnswerCache(cfg.CacheSize),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.http.started = time.Now()
+	if (cfg.C1 == nil) != (cfg.C2 == nil) {
+		return nil, fmt.Errorf("serve: C1 and C2 must be supplied together")
+	}
+	if cfg.C1 != nil {
+		s.c1, s.c2 = cfg.C1, cfg.C2
+	} else {
+		par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
+		mk := func(tag uint64) (*cluster.Cluster, error) {
+			cfgs := make([]cluster.WorkerConfig, cfg.Machines)
+			for i := range cfgs {
+				cfgs[i] = cluster.WorkerConfig{
+					Graph:       cfg.Graph,
+					Model:       cfg.Model,
+					Subset:      cfg.Subset,
+					Seed:        cluster.DeriveSeed(cfg.Seed^tag, i),
+					Parallelism: par,
+				}
+			}
+			return cluster.NewLocal(cfgs, n)
+		}
+		// The same stream split as core.RunDOPIMC: R1 and R2 must be
+		// independent for the certificate's lower bound to be unbiased.
+		if s.c1, err = mk(0x0111); err != nil {
+			return nil, err
+		}
+		if s.c2, err = mk(0x0222); err != nil {
+			s.c1.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close shuts the worker clusters down. In-flight queries that already
+// hold the sample locks finish from the resident state; growth after
+// Close fails.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	err1 := s.c1.Close()
+	err2 := s.c2.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Warm grows the resident sample until the hardest admissible query
+// (KMax, EpsFloor) is certified, so subsequent queries are served with
+// zero generation. Returns that query's answer.
+func (s *Service) Warm() (*Answer, error) {
+	return s.Query(s.cfg.KMax, s.cfg.EpsFloor)
+}
+
+// KMax returns the largest admissible query seed-set size.
+func (s *Service) KMax() int { return s.cfg.KMax }
+
+// EpsFloor returns the tightest admissible query ε.
+func (s *Service) EpsFloor() float64 { return s.cfg.EpsFloor }
+
+// Query answers an influence-maximization query: k seeds with a
+// certified (1 − 1/e − ε)-approximation. It reuses the resident sample
+// when the certificate suffices and grows it otherwise, up to the
+// (KMax, EpsFloor) cap — at the cap the answer carries the best
+// certificate the worst-case-sized sample supports (the IMM guarantee
+// still applies to it with probability 1 − δ).
+func (s *Service) Query(k int, eps float64) (*Answer, error) {
+	if k < 1 || k > s.cfg.KMax {
+		return nil, badQueryf("serve: k=%d outside [1, kmax=%d]", k, s.cfg.KMax)
+	}
+	if eps < s.cfg.EpsFloor || eps >= 1 {
+		return nil, badQueryf("serve: eps=%v outside [floor=%v, 1)", eps, s.cfg.EpsFloor)
+	}
+	if ans, ok := s.cache.get(k, eps); ok {
+		s.stats.queries.Add(1)
+		s.stats.cacheHits.Add(1)
+		hit := *ans
+		hit.Cached = true
+		return &hit, nil
+	}
+	target := 1 - 1/math.E - eps
+	grew := 0
+	for {
+		ans, done, err := s.tryServe(k, eps, target, grew)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return ans, nil
+		}
+		if err := s.grow(ans.Epoch); err != nil {
+			return nil, err
+		}
+		grew++
+	}
+}
+
+// tryServe attempts one selection + certification pass over the current
+// resident sample. done=false means the certificate fell short and the
+// sample can still grow; the returned answer then only carries the epoch
+// the attempt saw.
+func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool, error) {
+	s.mu.RLock()
+	epoch := s.epoch
+	theta := int64(s.r1.Count())
+	if theta == 0 {
+		s.mu.RUnlock()
+		return &Answer{Epoch: epoch}, false, nil
+	}
+	sel, err := core.SelectFromSample(s.r1, s.idx1, s.n, k)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, false, err
+	}
+	cov2s := s.prefixCoverageOn2Locked(sel.Seeds)
+	s.mu.RUnlock()
+
+	// Certify every greedy prefix, not just the queried k. Small prefixes
+	// are the binding constraint (few covered sets → relatively more
+	// Chernoff slack), and greedy prefix consistency means a later query
+	// with k' < k at eps' ≥ eps returns exactly Seeds[:k'] — so once all
+	// prefixes certify here, that later query is guaranteed to be served
+	// from the resident sample with zero new RR generation.
+	var cert imm.Certificate
+	allPass := true
+	var cov1 int64
+	for i := 0; i < k; i++ {
+		cov1 += sel.Marginals[i]
+		cert = core.CertifySelection(s.n, theta, cov1, cov2s[i], s.budget.TailMass)
+		if cert.Ratio < target {
+			allPass = false
+		}
+	}
+	cov2 := cov2s[k-1]
+	if !allPass && theta < s.budget.ThetaMax {
+		return &Answer{Epoch: epoch}, false, nil
+	}
+	ans := &Answer{
+		K:           k,
+		Eps:         eps,
+		Seeds:       sel.Seeds,
+		Epoch:       epoch,
+		Theta:       theta,
+		SpreadLower: cert.SpreadLower,
+		OptUpper:    cert.OptUpper,
+		Ratio:       cert.Ratio,
+		EstSpread:   float64(s.n) * float64(cov2) / float64(theta),
+		GrowRounds:  grew,
+	}
+	s.cache.put(k, eps, ans)
+	s.stats.queries.Add(1)
+	if grew == 0 {
+		s.stats.reuseHits.Add(1)
+	}
+	return ans, true, nil
+}
+
+// prefixCoverageOn2Locked returns, for each greedy prefix Seeds[:i+1],
+// the number of R2 sets it covers, via the R2 inverted index and a
+// per-query mark array. Caller holds mu (read).
+func (s *Service) prefixCoverageOn2Locked(seeds []uint32) []int64 {
+	mark := make([]bool, s.r2.Count())
+	out := make([]int64, len(seeds))
+	var covered int64
+	for i, u := range seeds {
+		for si := 0; si < s.idx2.NumSegments(); si++ {
+			for _, j := range s.idx2.SegCovers(si, u) {
+				if !mark[j] {
+					mark[j] = true
+					covered++
+				}
+			}
+		}
+		out[i] = covered
+	}
+	return out
+}
+
+// grow extends the resident sample by one doubling round (θ → 2θ, or to
+// θ₀ from empty), unless another grower already moved past fromEpoch.
+// Cluster generation and the incremental fetch run outside the epoch
+// lock; the write lock covers only the append + index extension.
+func (s *Service) grow(fromEpoch uint64) error {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+
+	s.mu.RLock()
+	cur := int64(s.r1.Count())
+	epoch := s.epoch
+	s.mu.RUnlock()
+	if epoch != fromEpoch {
+		return nil // a concurrent query grew the sample; re-evaluate
+	}
+	if s.closed.Load() {
+		return fmt.Errorf("serve: service is closed")
+	}
+	targetTheta := cur * 2
+	if cur == 0 {
+		targetTheta = s.budget.Theta0
+	}
+	if targetTheta > s.budget.ThetaMax {
+		targetTheta = s.budget.ThetaMax
+	}
+	add := targetTheta - cur
+	if add <= 0 {
+		return fmt.Errorf("serve: resident sample already at its %d cap", s.budget.ThetaMax)
+	}
+
+	new1 := rrset.NewCollection(1 << 12)
+	new2 := rrset.NewCollection(1 << 12)
+	s.clusterMu.Lock()
+	err := func() error {
+		if _, err := s.c1.Generate(add); err != nil {
+			return fmt.Errorf("serve: growing R1: %w", err)
+		}
+		if _, err := s.c2.Generate(add); err != nil {
+			return fmt.Errorf("serve: growing R2: %w", err)
+		}
+		var err error
+		if s.fetched1, err = s.c1.FetchNew(s.fetched1, new1); err != nil {
+			return fmt.Errorf("serve: fetching R1 increment: %w", err)
+		}
+		if s.fetched2, err = s.c2.FetchNew(s.fetched2, new2); err != nil {
+			return fmt.Errorf("serve: fetching R2 increment: %w", err)
+		}
+		return nil
+	}()
+	s.clusterMu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.stats.generated.Add(int64(new1.Count() + new2.Count()))
+	s.stats.growRounds.Add(1)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from1, from2 := s.r1.Count(), s.r2.Count()
+	s.r1.AppendCollection(new1)
+	s.r2.AppendCollection(new2)
+	if s.idx1 == nil {
+		if s.idx1, err = rrset.BuildIndex(s.r1, s.n); err != nil {
+			return err
+		}
+	} else if err = s.idx1.AppendFrom(s.r1, from1); err != nil {
+		return err
+	}
+	if s.idx2 == nil {
+		if s.idx2, err = rrset.BuildIndex(s.r2, s.n); err != nil {
+			return err
+		}
+	} else if err = s.idx2.AppendFrom(s.r2, from2); err != nil {
+		return err
+	}
+	s.epoch++
+	s.cache.advance(s.epoch)
+	return nil
+}
+
+// Spread estimates σ(seeds) by forward Monte-Carlo simulation on the
+// warm R1 cluster (the distributed estimation service of §II-B),
+// returning the mean and its standard error.
+func (s *Service) Spread(seeds []uint32, rounds int64) (mean, stderr float64, err error) {
+	if len(seeds) == 0 {
+		return 0, 0, badQueryf("serve: empty seed set")
+	}
+	if rounds < 1 || rounds > 10_000_000 {
+		return 0, 0, badQueryf("serve: rounds=%d outside [1, 1e7]", rounds)
+	}
+	for _, u := range seeds {
+		if int(u) >= s.n {
+			return 0, 0, badQueryf("serve: seed %d outside the %d-node graph", u, s.n)
+		}
+	}
+	if s.closed.Load() {
+		return 0, 0, fmt.Errorf("serve: service is closed")
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.c1.EstimateSpread(seeds, rounds)
+}
+
+// Stats is a point-in-time snapshot of the service, the payload of
+// GET /statsz.
+type Stats struct {
+	Epoch       uint64  `json:"epoch"`
+	Theta       int64   `json:"theta"`
+	ThetaMax    int64   `json:"theta_max"`
+	TotalRRSize int64   `json:"total_rr_size"` // summed cardinality, R1 + R2
+	KMax        int     `json:"k_max"`
+	EpsFloor    float64 `json:"eps_floor"`
+
+	Queries    int64 `json:"queries"`
+	CacheHits  int64 `json:"cache_hits"`
+	ReuseHits  int64 `json:"reuse_hits"`
+	GrowRounds int64 `json:"grow_rounds"`
+	Generated  int64 `json:"generated"`
+
+	InFlight int64                       `json:"in_flight"`
+	Rejected int64                       `json:"rejected"`
+	Uptime   float64                     `json:"uptime_seconds"`
+	Endpoint map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// ReuseRate returns the fraction of queries served without any RR
+// generation (LRU hits plus resident-sample hits).
+func (st Stats) ReuseRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.CacheHits+st.ReuseHits) / float64(st.Queries)
+}
+
+// Stats snapshots the counters. The sample figures are read under the
+// epoch lock via immutable snapshots, so a concurrent grower is never
+// blocked for longer than the two header copies.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	epoch := s.epoch
+	snap1, snap2 := s.r1.Snapshot(), s.r2.Snapshot()
+	s.mu.RUnlock()
+	st := Stats{
+		Epoch:       epoch,
+		Theta:       int64(snap1.Count()),
+		ThetaMax:    s.budget.ThetaMax,
+		TotalRRSize: snap1.TotalSize() + snap2.TotalSize(),
+		KMax:        s.cfg.KMax,
+		EpsFloor:    s.cfg.EpsFloor,
+		Queries:     s.stats.queries.Load(),
+		CacheHits:   s.stats.cacheHits.Load(),
+		ReuseHits:   s.stats.reuseHits.Load(),
+		GrowRounds:  s.stats.growRounds.Load(),
+		Generated:   s.stats.generated.Load(),
+		InFlight:    int64(len(s.sem)),
+		Rejected:    s.http.rejected.Load(),
+		Uptime:      time.Since(s.http.started).Seconds(),
+		Endpoint:    s.http.snapshot(),
+	}
+	return st
+}

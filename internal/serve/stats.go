@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRing keeps the most recent request latencies per endpoint so
+// /statsz can report p50/p99 without unbounded memory. 1024 samples give
+// a p99 resolved from the worst ~10 recent requests — coarse but honest
+// for an in-process counter, and allocation-free at record time.
+const latencyRingSize = 1024
+
+// endpointStats aggregates one endpoint's request accounting.
+type endpointStats struct {
+	mu      sync.Mutex
+	count   int64
+	errors  int64
+	ring    [latencyRingSize]time.Duration
+	ringLen int
+	ringPos int
+}
+
+func (e *endpointStats) record(d time.Duration, isErr bool) {
+	e.mu.Lock()
+	e.count++
+	if isErr {
+		e.errors++
+	}
+	e.ring[e.ringPos] = d
+	e.ringPos = (e.ringPos + 1) % latencyRingSize
+	if e.ringLen < latencyRingSize {
+		e.ringLen++
+	}
+	e.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's row in the /statsz payload.
+type EndpointSnapshot struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"` // over the most recent window
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	e.mu.Lock()
+	snap := EndpointSnapshot{Count: e.count, Errors: e.errors}
+	lat := make([]time.Duration, e.ringLen)
+	copy(lat, e.ring[:e.ringLen])
+	e.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		snap.P50Ms = float64(lat[quantileIdx(len(lat), 0.50)]) / 1e6
+		snap.P99Ms = float64(lat[quantileIdx(len(lat), 0.99)]) / 1e6
+	}
+	return snap
+}
+
+// quantileIdx is the nearest-rank index for quantile q over n sorted
+// samples.
+func quantileIdx(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// httpCounters is the HTTP layer's accounting: per-endpoint latency and
+// error counts plus admission-control rejections.
+type httpCounters struct {
+	started  time.Time
+	rejected atomic.Int64
+	mu       sync.Mutex
+	byName   map[string]*endpointStats
+}
+
+func (h *httpCounters) endpoint(name string) *endpointStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.byName == nil {
+		h.byName = make(map[string]*endpointStats)
+	}
+	e, ok := h.byName[name]
+	if !ok {
+		e = &endpointStats{}
+		h.byName[name] = e
+	}
+	return e
+}
+
+func (h *httpCounters) snapshot() map[string]EndpointSnapshot {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.byName))
+	stats := make([]*endpointStats, 0, len(h.byName))
+	for name, e := range h.byName {
+		names = append(names, name)
+		stats = append(stats, e)
+	}
+	h.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(names))
+	for i, name := range names {
+		out[name] = stats[i].snapshot()
+	}
+	return out
+}
