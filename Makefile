@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen serve bench-serve
+.PHONY: build test race bench rrgen serve bench-serve bench-store
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: sharded RR generation, the cluster
-# transports, and the query service run under the race detector.
+# transports, the query service, and the durable store run under the
+# race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/rrset/... ./internal/serve/...
+	$(GO) test -race ./internal/cluster/... ./internal/rrset/... ./internal/serve/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -30,3 +31,8 @@ serve:
 # rate across client concurrency levels on this box).
 bench-serve:
 	$(GO) run ./cmd/experiments -run serve
+
+# Regenerates BENCH_STORE.json (checkpoint MB/s and warm-restore vs
+# cold-resample wall-clock ratio on this box).
+bench-store:
+	$(GO) run ./cmd/experiments -run store

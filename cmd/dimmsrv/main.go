@@ -19,6 +19,15 @@
 //
 //	dimmsrv -graph g.bin -workers host1:7001,host2:7001,host3:7001,host4:7001
 //
+// With -checkpoint-dir the resident sample is checkpointed to disk after
+// every growth epoch, and -restore replays it on the next start — a warm
+// restart that answers the same queries byte-identically with zero RR
+// generation (see README "Checkpointing" and cmd/dimmstore):
+//
+//	dimmsrv -graph g.bin -warm -checkpoint-dir /var/lib/dimm/ckpt
+//	# ...crash or deploy...
+//	dimmsrv -graph g.bin -checkpoint-dir /var/lib/dimm/ckpt -restore
+//
 // SIGINT/SIGTERM triggers a graceful stop: the listener closes,
 // in-flight requests get -shutdown-grace to finish, then the worker
 // clusters shut down and the process exits 0.
@@ -73,6 +82,9 @@ func main() {
 		warm        = flag.Bool("warm", false, "grow the resident sample for the hardest admissible query before accepting traffic")
 		callTimeout = flag.Duration("call-timeout", 0, "per-call deadline for TCP worker requests (0 = none)")
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "on SIGINT/SIGTERM, deadline for in-flight HTTP requests to finish")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "directory for the durable RR-sample store; each growth epoch is checkpointed there")
+		restore       = flag.Bool("restore", false, "replay the checkpoint in -checkpoint-dir at startup (warm restart, no resampling)")
 	)
 	flag.Parse()
 
@@ -86,18 +98,24 @@ func main() {
 	}
 	log.Printf("graph: %d nodes, %d edges, avg degree %.1f", g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
+	if *restore && *checkpointDir == "" {
+		log.Fatal("-restore needs -checkpoint-dir")
+	}
 	cfg := serve.Config{
-		Graph:       g,
-		Model:       model,
-		Subset:      *subset,
-		Seed:        *seed,
-		Machines:    *machines,
-		Parallelism: parOpt(*parallelism),
-		KMax:        *kMax,
-		EpsFloor:    *epsFloor,
-		Delta:       *delta,
-		CacheSize:   *cacheSize,
-		MaxInFlight: *maxInFlight,
+		Graph:         g,
+		Model:         model,
+		Subset:        *subset,
+		Seed:          *seed,
+		Machines:      *machines,
+		Parallelism:   parOpt(*parallelism),
+		KMax:          *kMax,
+		EpsFloor:      *epsFloor,
+		Delta:         *delta,
+		CacheSize:     *cacheSize,
+		MaxInFlight:   *maxInFlight,
+		CheckpointDir: *checkpointDir,
+		Restore:       *restore,
+		WeightTag:     *weights,
 	}
 	if *workers != "" {
 		c1, c2, err := dialWorkerHalves(*workers, g.NumNodes(), *callTimeout)
@@ -109,6 +127,12 @@ func main() {
 	svc, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if st := svc.Stats(); st.Restored {
+		log.Printf("restore: resumed epoch %d with theta=%d from %d checkpoint segments in %s",
+			st.Epoch, st.Theta, st.RestoredEpochs, *checkpointDir)
+	} else if *restore {
+		log.Printf("restore: no checkpoint in %s, cold start", *checkpointDir)
 	}
 
 	if *warm {

@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,serve,all (rrgen and serve only run when named)")
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,serve,store,all (rrgen, serve and store only run when named)")
 		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k        = flag.Int("k", 50, "seed set size")
 		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -50,6 +50,7 @@ func main() {
 		par      = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
 		rrgenOut = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
 		serveOut = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
+		storeOut = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
 	)
 	flag.Parse()
 
@@ -123,7 +124,7 @@ func main() {
 	step("fig8", func() error { _, err := cfg.Fig8(); return err })
 	step("fig9", func() error { _, err := cfg.Fig9(); return err })
 	step("fig10", func() error { _, err := cfg.Fig10(); return err })
-	// rrgen and serve write BENCH_*.json, so they only run when named.
+	// rrgen, serve and store write BENCH_*.json, so they only run when named.
 	if want["rrgen"] {
 		if _, err := cfg.RRGen(*rrgenOut); err != nil {
 			log.Fatalf("rrgen: %v", err)
@@ -132,6 +133,11 @@ func main() {
 	if want["serve"] {
 		if _, err := cfg.Serve(*serveOut); err != nil {
 			log.Fatalf("serve: %v", err)
+		}
+	}
+	if want["store"] {
+		if _, err := cfg.Store(*storeOut); err != nil {
+			log.Fatalf("store: %v", err)
 		}
 	}
 }

@@ -62,6 +62,7 @@ func main() {
 		fmt.Printf("  out p50/90/99 %d / %d / %d\n", s.P50, s.P90, s.P99)
 		fmt.Printf("  isolated      %d\n", s.Isolated)
 		fmt.Printf("  symmetric     %v\n", s.Symmetric)
+		fmt.Printf("  content hash  %s\n", g.ContentHash())
 	case *convert != "":
 		g, err := graph.LoadEdgeListFile(*convert, *undirected)
 		if err != nil {
@@ -71,6 +72,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s: %d nodes, %d edges -> %s\n", *convert, g.NumNodes(), g.NumEdges(), *out)
+		fmt.Printf("  content hash %s\n", g.ContentHash())
 
 	case *nodes > 0:
 		cfg := graph.GenConfig{Nodes: *nodes, AvgDegree: *degree, Undirected: *undirected, Seed: *seed, UniformAttach: 0.15}
@@ -98,6 +100,7 @@ func main() {
 		}
 		fmt.Printf("generated %d nodes, %d edges (avg degree %.1f) -> %s\n",
 			g.NumNodes(), g.NumEdges(), g.AvgDegree(), *out)
+		fmt.Printf("  content hash %s\n", g.ContentHash())
 
 	case *datasets != "":
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -120,8 +123,8 @@ func main() {
 			if err := graph.WriteBinaryFile(path, g); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-16s %9d nodes %10d edges  avg %.1f  -> %s\n",
-				spec.Name, g.NumNodes(), g.NumEdges(), g.AvgDegree(), path)
+			fmt.Printf("%-16s %9d nodes %10d edges  avg %.1f  %s  -> %s\n",
+				spec.Name, g.NumNodes(), g.NumEdges(), g.AvgDegree(), g.ContentHash(), path)
 		}
 
 	default:

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/serve"
+)
+
+// StoreOptions configures the checkpoint/restore benchmark.
+type StoreOptions struct {
+	Nodes     int     // synthetic graph size (default 20_000)
+	AvgDegree float64 // synthetic graph average degree (default 10)
+	Model     diffusion.Model
+	Seed      uint64
+
+	Machines int     // in-process machines per RR collection (default 2)
+	KMax     int     // service admission cap (default 20)
+	EpsFloor float64 // service epsilon floor (default 0.3)
+
+	// Dir is where the checkpoint lands; empty uses a temp directory
+	// removed afterwards.
+	Dir string
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20_000
+	}
+	if o.AvgDegree == 0 {
+		o.AvgDegree = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 20220501
+	}
+	if o.Machines == 0 {
+		o.Machines = 2
+	}
+	if o.KMax == 0 {
+		o.KMax = 20
+	}
+	if o.EpsFloor == 0 {
+		o.EpsFloor = 0.3
+	}
+	return o
+}
+
+// StoreReport is the machine-readable record written to BENCH_STORE.json.
+// The headline figure is RestoreSpeedup: restoring the resident sample
+// from disk versus resampling it cold through the distributed workers.
+type StoreReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Nodes      int     `json:"nodes"`
+	Edges      int64   `json:"edges"`
+	Model      string  `json:"model"`
+	Seed       uint64  `json:"seed"`
+	Machines   int     `json:"machines"`
+	KMax       int     `json:"k_max"`
+	EpsFloor   float64 `json:"eps_floor"`
+
+	// The cold path: building the resident sample by distributed
+	// resampling (serve.Warm on an empty store).
+	ColdWarmSeconds float64 `json:"cold_warm_seconds"`
+	WarmTheta       int64   `json:"warm_theta"`
+
+	// The checkpoint path: what the growth hook wrote while warming.
+	CheckpointEpochs  int64   `json:"checkpoint_epochs"`
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+	CheckpointMBps    float64 `json:"checkpoint_mbps"`
+
+	// The warm path: a fresh service restoring that checkpoint. The
+	// restore time covers serve.New end to end (segment replay, CRC
+	// verification, index rebuild) plus the first query.
+	RestoreSeconds    float64 `json:"restore_seconds"`
+	RestoredTheta     int64   `json:"restored_theta"`
+	RestoredGenerated int64   `json:"restored_generated"` // RR sets the restored service had to sample (must be 0)
+	RestoreSpeedup    float64 `json:"restore_speedup"`    // ColdWarmSeconds / RestoreSeconds
+	SeedsIdentical    bool    `json:"seeds_identical"`    // restored answer == cold answer, byte for byte
+}
+
+// RunStoreBench measures the durable store end to end: warm a service
+// cold (checkpointing as it grows), kill it, restore a fresh service
+// from the checkpoint, and compare wall clocks and answers.
+func RunStoreBench(opt StoreOptions) (*StoreReport, error) {
+	opt = opt.withDefaults()
+	dir := opt.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "dimm-bench-store-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	g, err := graph.GenPreferential(graph.GenConfig{
+		Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed, UniformAttach: 0.15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0); err != nil {
+		return nil, err
+	}
+	mkCfg := func(restore bool) serve.Config {
+		return serve.Config{
+			Graph:         g,
+			Model:         opt.Model,
+			Seed:          opt.Seed,
+			Machines:      opt.Machines,
+			KMax:          opt.KMax,
+			EpsFloor:      opt.EpsFloor,
+			WeightTag:     graph.WeightedCascade.String(),
+			CheckpointDir: dir,
+			Restore:       restore,
+		}
+	}
+
+	// Cold path: distributed resampling, checkpointing along the way.
+	cold, err := serve.New(mkCfg(false))
+	if err != nil {
+		return nil, err
+	}
+	coldStart := time.Now()
+	coldAns, err := cold.Warm()
+	if err != nil {
+		cold.Close()
+		return nil, err
+	}
+	coldSecs := time.Since(coldStart).Seconds()
+	coldStats := cold.Stats()
+	cold.Close()
+	if coldStats.CheckpointErrors > 0 {
+		return nil, fmt.Errorf("bench: %d checkpoint errors while warming", coldStats.CheckpointErrors)
+	}
+
+	// Warm path: restore the checkpoint into a fresh service and answer
+	// the same hardest query.
+	restoreStart := time.Now()
+	warm, err := serve.New(mkCfg(true))
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+	warmAns, err := warm.Warm()
+	if err != nil {
+		return nil, err
+	}
+	restoreSecs := time.Since(restoreStart).Seconds()
+	warmStats := warm.Stats()
+
+	identical := len(coldAns.Seeds) == len(warmAns.Seeds) && coldAns.Ratio == warmAns.Ratio
+	for i := 0; identical && i < len(coldAns.Seeds); i++ {
+		identical = coldAns.Seeds[i] == warmAns.Seeds[i]
+	}
+	rep := &StoreReport{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		Model:             opt.Model.String(),
+		Seed:              opt.Seed,
+		Machines:          opt.Machines,
+		KMax:              opt.KMax,
+		EpsFloor:          opt.EpsFloor,
+		ColdWarmSeconds:   coldSecs,
+		WarmTheta:         coldAns.Theta,
+		CheckpointEpochs:  coldStats.CheckpointEpochs,
+		CheckpointBytes:   coldStats.CheckpointBytes,
+		CheckpointSeconds: coldStats.CheckpointSeconds,
+		RestoreSeconds:    restoreSecs,
+		RestoredTheta:     warmStats.RestoredTheta,
+		RestoredGenerated: warmStats.Generated,
+		SeedsIdentical:    identical,
+	}
+	if coldStats.CheckpointSeconds > 0 {
+		rep.CheckpointMBps = float64(coldStats.CheckpointBytes) / 1e6 / coldStats.CheckpointSeconds
+	}
+	if restoreSecs > 0 {
+		rep.RestoreSpeedup = coldSecs / restoreSecs
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *StoreReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Store runs the checkpoint/restore benchmark at the harness's seed,
+// prints a summary, and — when jsonPath is non-empty — records the
+// report machine-readably (BENCH_STORE.json).
+func (c Config) Store(jsonPath string) (*StoreReport, error) {
+	rep, err := RunStoreBench(StoreOptions{Model: diffusion.IC, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	c.printf("\n== durable RR-sample store (%d nodes, kmax=%d, eps=%.2f, GOMAXPROCS=%d) ==\n",
+		rep.Nodes, rep.KMax, rep.EpsFloor, rep.GOMAXPROCS)
+	c.printf("cold warm:   theta=%d in %.2fs (distributed resampling)\n", rep.WarmTheta, rep.ColdWarmSeconds)
+	c.printf("checkpoint:  %d epochs, %s in %.3fs (%.0f MB/s)\n",
+		rep.CheckpointEpochs, fmtBytes(rep.CheckpointBytes), rep.CheckpointSeconds, rep.CheckpointMBps)
+	c.printf("restore:     theta=%d in %.2fs -> %.1fx faster than resampling, %d RR sets generated, seeds identical: %v\n",
+		rep.RestoredTheta, rep.RestoreSeconds, rep.RestoreSpeedup, rep.RestoredGenerated, rep.SeedsIdentical)
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", jsonPath, err)
+		}
+		c.printf("wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}
+
+func fmtBytes(v int64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}

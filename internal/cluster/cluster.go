@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
@@ -407,34 +406,24 @@ func (c *Cluster) Reset() error {
 	return nil
 }
 
-// appendWireSets decodes a fetch payload (count u32, then len u32 +
-// members u32* per set) into the collection, returning the number of RR
-// sets appended.
-func appendWireSets(rest []byte, into *rrset.Collection) (int, error) {
-	count, rest, err := consumeU32(rest)
+// decodeFetchResp validates a fetch response's integrity trailer and
+// decodes its RR payload into the collection via the shared decoder
+// (rrset.DecodeWire — the same one the durable store replays segments
+// with), returning the number of RR sets appended.
+func decodeFetchResp(worker int, rest []byte, into *rrset.Collection) (int, error) {
+	payload, err := verifyFetchPayload(worker, rest)
 	if err != nil {
 		return 0, err
 	}
-	var members []uint32
-	for j := uint32(0); j < count; j++ {
-		var l uint32
-		if l, rest, err = consumeU32(rest); err != nil {
-			return 0, err
-		}
-		if int(l)*4 > len(rest) {
-			return 0, fmt.Errorf("truncated RR set %d", j)
-		}
-		if cap(members) < int(l) {
-			members = make([]uint32, l)
-		}
-		members = members[:l]
-		for m := uint32(0); m < l; m++ {
-			members[m] = binary.LittleEndian.Uint32(rest[m*4:])
-		}
-		rest = rest[l*4:]
-		into.Append(members, 0)
+	count, trailing, err := rrset.DecodeWire(payload, into)
+	if err != nil {
+		return 0, err
 	}
-	return int(count), nil
+	if len(trailing) != 0 {
+		return 0, &FrameIntegrityError{Worker: worker, Reason: fmt.Sprintf(
+			"%d trailing bytes after the declared RR sets", len(trailing))}
+	}
+	return count, nil
 }
 
 // GatherAll pulls every worker's entire RR collection into one in-memory
@@ -457,8 +446,8 @@ func (c *Cluster) GatherAll() (*rrset.Collection, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		handlers[i] = time.Duration(nanos)
-		if _, err := appendWireSets(rest, union); err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		if _, err := decodeFetchResp(i, rest, union); err != nil {
+			return nil, err
 		}
 	}
 	c.met.MasterCompute += time.Since(start)
@@ -503,9 +492,9 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		handlers[i] = time.Duration(nanos)
-		added, err := appendWireSets(rest, into)
+		added, err := decodeFetchResp(i, rest, into)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+			return nil, err
 		}
 		next[i] = since[i] + added
 	}

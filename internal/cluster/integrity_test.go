@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/rrset"
+)
+
+// flipConn wraps a Conn and, once armed, applies a targeted mutation to
+// fetch responses — a single flipped payload bit, a clipped tail, or a
+// forged declared length — modeling silent wire corruption rather than
+// the gross mangling of corruptConn.
+type flipConn struct {
+	inner Conn
+	mode  string // "flip" | "clip" | "len"
+	armed bool
+}
+
+func (c *flipConn) Call(req []byte) ([]byte, error) {
+	resp, err := c.inner.Call(req)
+	if err != nil || !c.armed || len(resp) < fetchPayloadOffset+4 {
+		return resp, err
+	}
+	if len(req) == 0 || (req[0] != msgFetchAll && req[0] != msgFetchSince) {
+		return resp, nil // only fetch frames carry the trailer under test
+	}
+	out := make([]byte, len(resp))
+	copy(out, resp)
+	switch c.mode {
+	case "flip":
+		out[fetchPayloadOffset+2] ^= 0x10 // one bit inside the RR payload
+	case "clip":
+		out = out[:len(out)-4] // drop the last member
+	case "len":
+		out[9]++ // declared length no longer matches the payload
+	}
+	return out, nil
+}
+
+func (c *flipConn) Bytes() (int64, int64) { return c.inner.Bytes() }
+func (c *flipConn) Close() error          { return c.inner.Close() }
+
+// TestFetchIntegrityTrailer: every silent mutation of a fetch frame must
+// surface as a typed *FrameIntegrityError naming the bad worker, on both
+// the GatherAll and FetchNew paths. Frames through a healthy conn must
+// keep verifying.
+func TestFetchIntegrityTrailer(t *testing.T) {
+	g := testGraph(t)
+	for _, mode := range []string{"flip", "clip", "len"} {
+		t.Run(mode, func(t *testing.T) {
+			conns := make([]Conn, 3)
+			var bad *flipConn
+			for i := range conns {
+				w, err := NewWorker(WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(1, i)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var c Conn = NewLocalConn(w)
+				if i == 1 {
+					bad = &flipConn{inner: c, mode: mode}
+					c = bad
+				}
+				conns[i] = c
+			}
+			cl, err := New(conns, g.NumNodes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Generate(40); err != nil {
+				t.Fatal(err)
+			}
+			// Healthy fetches verify.
+			since, err := cl.FetchNew(nil, rrset.NewCollection(16))
+			if err != nil {
+				t.Fatalf("healthy FetchNew: %v", err)
+			}
+			if _, err := cl.GatherAll(); err != nil {
+				t.Fatalf("healthy GatherAll: %v", err)
+			}
+
+			bad.armed = true
+			var fe *FrameIntegrityError
+			if _, err := cl.GatherAll(); !errors.As(err, &fe) {
+				t.Fatalf("GatherAll with %s corruption: got %v, want FrameIntegrityError", mode, err)
+			}
+			if fe.Worker != 1 {
+				t.Fatalf("error blames worker %d, corrupted worker 1", fe.Worker)
+			}
+			// Generate more so the incremental fetch has fresh sets to carry.
+			if _, err := cl.Generate(40); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.FetchNew(since, rrset.NewCollection(16)); !errors.As(err, &fe) {
+				t.Fatalf("FetchNew with %s corruption: got %v, want FrameIntegrityError", mode, err)
+			}
+
+			// And the cluster recovers once the link heals.
+			bad.armed = false
+			if _, err := cl.FetchNew(since, rrset.NewCollection(16)); err != nil {
+				t.Fatalf("healed FetchNew: %v", err)
+			}
+		})
+	}
+}

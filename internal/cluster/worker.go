@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dimm/internal/checksum"
 	"dimm/internal/diffusion"
 	"dimm/internal/graph"
 	"dimm/internal/rrset"
@@ -356,11 +357,22 @@ func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
 // versus NEWGREEDI's O(k·n) per selection run); with a positive from it
 // is the incremental sync a resident query service issues after each
 // generation round, whose traffic is Θ(new RR size) only.
+//
+// Fetch responses are the one place a corrupted frame could silently
+// poison the sample (every other message type is counts and deltas the
+// master cross-checks), so the payload travels behind an integrity
+// trailer — declared length u32 + CRC32C u32 — that the master verifies
+// before decoding (verifyFetchPayload).
 func (w *Worker) fetchRange(start time.Time, from int) []byte {
-	b := make([]byte, 0, 1+8+w.coll.WireSizeRange(from))
+	b := make([]byte, 0, fetchPayloadOffset+w.coll.WireSizeRange(from))
 	b = append(b, 0)
 	b = appendI64(b, 0) // handler nanos patched below
+	b = appendU32(b, 0) // declared payload length, patched below
+	b = appendU32(b, 0) // CRC32C of the payload, patched below
 	b = w.coll.AppendWireRange(b, from)
+	payload := b[fetchPayloadOffset:]
+	binary.LittleEndian.PutUint32(b[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[13:17], checksum.Sum(payload))
 	binary.LittleEndian.PutUint64(b[1:9], uint64(time.Since(start).Nanoseconds()))
 	return b
 }

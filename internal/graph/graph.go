@@ -14,6 +14,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Graph is an immutable weighted directed graph. Construct one with a
@@ -49,6 +50,11 @@ type Graph struct {
 	// p = 1/indeg). Samplers use it to pick in-neighbors in O(1) and to
 	// enable subset sampling with geometric jumps.
 	uniformIn bool
+
+	// hashOnce/hash memoize ContentHash. Graph is immutable once built and
+	// always handled by pointer, so the sync.Once copy restriction is moot.
+	hashOnce sync.Once
+	hash     string
 }
 
 // NumNodes returns n, the number of nodes.

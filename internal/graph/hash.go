@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ContentHash returns a stable fingerprint of the graph's content:
+// "sha256:" + hex of a SHA-256 over the node/edge counts, the out-CSR
+// arrays, and the edge probabilities. Two graphs hash equal iff they
+// have identical topology and identical weights, regardless of how they
+// were loaded (edge list, binary file, generator). The in-CSR is
+// excluded — it is derived deterministically from the out-CSR, so
+// hashing it would only slow the pass without adding discrimination.
+//
+// The hash pins checkpoints (internal/store fingerprints) and future
+// caches to the exact substrate they were computed on. It is memoized;
+// the first call streams ~12 bytes/edge through SHA-256, subsequent
+// calls are free.
+func (g *Graph) ContentHash() string {
+	g.hashOnce.Do(func() {
+		h := sha256.New()
+		var hdr [8]byte
+		h.Write([]byte("dimm-graph-v1"))
+		binary.LittleEndian.PutUint64(hdr[:], uint64(g.n))
+		h.Write(hdr[:])
+		binary.LittleEndian.PutUint64(hdr[:], uint64(g.m))
+		h.Write(hdr[:])
+
+		// Stream each array through a reused chunk buffer instead of
+		// binary.Write, which would allocate the full encoded size.
+		const chunk = 8192
+		buf := make([]byte, 0, chunk*8)
+		flush := func() {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+		for _, v := range g.outStart {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			if len(buf) >= chunk*8 {
+				flush()
+			}
+		}
+		flush()
+		for _, v := range g.outAdj {
+			buf = binary.LittleEndian.AppendUint32(buf, v)
+			if len(buf) >= chunk*8 {
+				flush()
+			}
+		}
+		flush()
+		for _, p := range g.outProb {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p))
+			if len(buf) >= chunk*8 {
+				flush()
+			}
+		}
+		flush()
+		g.hash = fmt.Sprintf("sha256:%x", h.Sum(nil))
+	})
+	return g.hash
+}

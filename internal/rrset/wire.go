@@ -1,0 +1,37 @@
+package rrset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecodeWire appends one wire-encoded RR-set batch (the AppendWire
+// layout: count u32, then len u32 + members u32* per set) to c,
+// returning the number of sets appended and the unconsumed remainder of
+// b. It is the single decoder behind both the cluster master's fetch
+// paths and the durable store's segment replay, so the two can never
+// drift. Members are written straight into the arena — no per-set
+// scratch slice.
+func DecodeWire(b []byte, c *Collection) (int, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("rrset: wire payload truncated (want 4 bytes for the set count, have %d)", len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	rest := b[4:]
+	for j := uint32(0); j < count; j++ {
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("rrset: wire payload truncated at set %d header", j)
+		}
+		l := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if int64(l)*4 > int64(len(rest)) {
+			return 0, nil, fmt.Errorf("rrset: truncated RR set %d (%d members declared, %d bytes left)", j, l, len(rest))
+		}
+		for m := 0; m < int(l); m++ {
+			c.nodes = append(c.nodes, binary.LittleEndian.Uint32(rest[m*4:]))
+		}
+		c.offs = append(c.offs, int64(len(c.nodes)))
+		rest = rest[l*4:]
+	}
+	return int(count), rest, nil
+}

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"dimm/internal/graph"
 	"dimm/internal/imm"
 	"dimm/internal/rrset"
+	"dimm/internal/store"
 )
 
 // Config describes a Service deployment.
@@ -66,6 +68,24 @@ type Config struct {
 	// MaxInFlight bounds concurrently admitted HTTP requests; excess
 	// requests get 429 (default 64).
 	MaxInFlight int
+
+	// CheckpointDir enables the durable RR-sample store (internal/store):
+	// after every growth epoch the new RR sets are appended to a
+	// checkpoint in this directory, pinned to the service's full sampling
+	// fingerprint. Empty disables checkpointing.
+	CheckpointDir string
+	// Restore replays the checkpoint at CheckpointDir on startup, so the
+	// resident sample is warm before the first query with zero worker
+	// traffic. Requires in-process machines (no C1/C2): post-restore
+	// growth re-salts the worker RR streams with the restored epoch, which
+	// cannot be done to externally-seeded workers. A non-empty checkpoint
+	// directory without Restore is an error — appending a fresh run to an
+	// old checkpoint would fork its history.
+	Restore bool
+	// WeightTag optionally names the edge-weight model ("wc", ...) for
+	// the checkpoint fingerprint; the graph content hash already pins the
+	// actual weights, this adds a readable guard for tooling.
+	WeightTag string
 
 	// C1/C2 optionally supply pre-built clusters (e.g. TCP workers dialed
 	// by cmd/dimmsrv) backing R1 and R2. Both must be set together; the
@@ -160,6 +180,12 @@ type Service struct {
 	cache *answerCache
 	sem   chan struct{} // admission-control slots (HTTP layer)
 
+	// st is the durable RR-sample store (nil when checkpointing is off).
+	// Only the grower touches it, under growMu.
+	st             *store.Store
+	restoredEpochs int   // checkpoint segments replayed at startup
+	restoredTheta  int64 // per-collection RR sets restored at startup
+
 	stats serviceCounters
 	http  httpCounters
 
@@ -173,6 +199,11 @@ type serviceCounters struct {
 	reuseHits  atomic.Int64 // served from the resident sample, zero growth
 	growRounds atomic.Int64 // doubling rounds executed
 	generated  atomic.Int64 // RR sets generated since startup (R1 + R2)
+
+	ckptEpochs atomic.Int64 // checkpoint segments written since startup
+	ckptBytes  atomic.Int64 // checkpoint bytes written since startup
+	ckptErrors atomic.Int64 // failed checkpoint attempts (queries unaffected)
+	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
 }
 
 // New builds the service and its warm clusters. The resident sample
@@ -206,10 +237,58 @@ func New(cfg Config) (*Service, error) {
 	if (cfg.C1 == nil) != (cfg.C2 == nil) {
 		return nil, fmt.Errorf("serve: C1 and C2 must be supplied together")
 	}
+	par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
+
+	// Open the durable store (and restore from it) before the clusters
+	// exist: a restore determines the stream salt the workers are seeded
+	// with.
+	var salt uint64
+	if cfg.CheckpointDir != "" {
+		st, err := store.Open(cfg.CheckpointDir, store.Fingerprint{
+			GraphHash:   cfg.Graph.ContentHash(),
+			Model:       cfg.Model.String(),
+			WeightModel: cfg.WeightTag,
+			Subset:      cfg.Subset,
+			Seed:        cfg.Seed,
+			Machines:    cfg.Machines,
+			Parallelism: par,
+			KMax:        cfg.KMax,
+			EpsFloor:    cfg.EpsFloor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		switch {
+		case cfg.Restore:
+			if cfg.C1 != nil {
+				return nil, fmt.Errorf("serve: restore requires in-process machines: pre-built clusters cannot have their RR streams re-salted for post-restore growth")
+			}
+			res, err := st.Restore(n)
+			if err == nil {
+				s.r1, s.r2 = res.R1, res.R2
+				s.idx1, s.idx2 = res.Idx1, res.Idx2
+				s.epoch = res.Epoch
+				s.restoredEpochs = res.Epochs
+				s.restoredTheta = int64(res.R1.Count())
+				// Salt post-restore worker streams with the restored epoch:
+				// the fresh workers must not replay the PRNG prefix that
+				// produced the restored sets, or regrowth would append
+				// duplicates instead of independent samples. Zero on a cold
+				// start, so non-restored runs keep their exact historic
+				// streams (and stay bit-identical with pre-store builds).
+				salt = res.Epoch * 0x9E3779B97F4A7C15
+			} else if !errors.Is(err, store.ErrNoCheckpoint) {
+				return nil, err
+			}
+		case st.Epochs() > 0:
+			return nil, fmt.Errorf("serve: checkpoint directory %s already holds %d epochs; enable restore (dimmsrv -restore) to resume from it, or point at an empty directory", cfg.CheckpointDir, st.Epochs())
+		}
+	}
+
 	if cfg.C1 != nil {
 		s.c1, s.c2 = cfg.C1, cfg.C2
 	} else {
-		par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
 		mk := func(tag uint64) (*cluster.Cluster, error) {
 			cfgs := make([]cluster.WorkerConfig, cfg.Machines)
 			for i := range cfgs {
@@ -217,7 +296,7 @@ func New(cfg Config) (*Service, error) {
 					Graph:       cfg.Graph,
 					Model:       cfg.Model,
 					Subset:      cfg.Subset,
-					Seed:        cluster.DeriveSeed(cfg.Seed^tag, i),
+					Seed:        cluster.DeriveSeed(cfg.Seed^tag^salt, i),
 					Parallelism: par,
 				}
 			}
@@ -441,27 +520,58 @@ func (s *Service) grow(fromEpoch uint64) error {
 	s.stats.growRounds.Add(1)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	from1, from2 := s.r1.Count(), s.r2.Count()
-	s.r1.AppendCollection(new1)
-	s.r2.AppendCollection(new2)
-	if s.idx1 == nil {
-		if s.idx1, err = rrset.BuildIndex(s.r1, s.n); err != nil {
+	err = func() error {
+		from1, from2 := s.r1.Count(), s.r2.Count()
+		s.r1.AppendCollection(new1)
+		s.r2.AppendCollection(new2)
+		if s.idx1 == nil {
+			if s.idx1, err = rrset.BuildIndex(s.r1, s.n); err != nil {
+				return err
+			}
+		} else if err = s.idx1.AppendFrom(s.r1, from1); err != nil {
 			return err
 		}
-	} else if err = s.idx1.AppendFrom(s.r1, from1); err != nil {
-		return err
-	}
-	if s.idx2 == nil {
-		if s.idx2, err = rrset.BuildIndex(s.r2, s.n); err != nil {
+		if s.idx2 == nil {
+			if s.idx2, err = rrset.BuildIndex(s.r2, s.n); err != nil {
+				return err
+			}
+		} else if err = s.idx2.AppendFrom(s.r2, from2); err != nil {
 			return err
 		}
-	} else if err = s.idx2.AppendFrom(s.r2, from2); err != nil {
+		s.epoch++
+		s.cache.advance(s.epoch)
+		return nil
+	}()
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	s.epoch++
-	s.cache.advance(s.epoch)
+	s.maybeCheckpoint()
 	return nil
+}
+
+// maybeCheckpoint appends the RR sets this growth epoch produced to the
+// durable store. It runs under growMu with the epoch write lock already
+// released: the collections are append-only and this grower is the only
+// appender, so reading them unlocked is safe, and checkpoint I/O never
+// blocks concurrent queries. A checkpoint failure is recorded in the
+// counters but never fails the query that triggered the growth — the
+// in-memory sample is authoritative, the store is a warm-start cache.
+func (s *Service) maybeCheckpoint() {
+	if s.st == nil {
+		return
+	}
+	start := time.Now()
+	n, err := s.st.Checkpoint(s.epoch, s.r1, s.r2)
+	s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.stats.ckptErrors.Add(1)
+		return
+	}
+	if n > 0 {
+		s.stats.ckptEpochs.Add(1)
+		s.stats.ckptBytes.Add(n)
+	}
 }
 
 // Spread estimates σ(seeds) by forward Monte-Carlo simulation on the
@@ -503,6 +613,16 @@ type Stats struct {
 	GrowRounds int64 `json:"grow_rounds"`
 	Generated  int64 `json:"generated"`
 
+	// Durable-store figures: what startup replayed and what the
+	// checkpoint hook has written since (all zero with no CheckpointDir).
+	Restored          bool    `json:"restored"`
+	RestoredEpochs    int     `json:"restored_epochs"`
+	RestoredTheta     int64   `json:"restored_theta"`
+	CheckpointEpochs  int64   `json:"checkpoint_epochs"`
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	CheckpointErrors  int64   `json:"checkpoint_errors"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+
 	InFlight int64                       `json:"in_flight"`
 	Rejected int64                       `json:"rejected"`
 	Uptime   float64                     `json:"uptime_seconds"`
@@ -538,6 +658,14 @@ func (s *Service) Stats() Stats {
 		ReuseHits:   s.stats.reuseHits.Load(),
 		GrowRounds:  s.stats.growRounds.Load(),
 		Generated:   s.stats.generated.Load(),
+
+		Restored:          s.restoredTheta > 0,
+		RestoredEpochs:    s.restoredEpochs,
+		RestoredTheta:     s.restoredTheta,
+		CheckpointEpochs:  s.stats.ckptEpochs.Load(),
+		CheckpointBytes:   s.stats.ckptBytes.Load(),
+		CheckpointErrors:  s.stats.ckptErrors.Load(),
+		CheckpointSeconds: float64(s.stats.ckptNanos.Load()) / 1e9,
 		InFlight:    int64(len(s.sem)),
 		Rejected:    s.http.rejected.Load(),
 		Uptime:      time.Since(s.http.started).Seconds(),

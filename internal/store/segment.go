@@ -1,0 +1,148 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dimm/internal/checksum"
+	"dimm/internal/rrset"
+)
+
+// Segment file layout (all little-endian):
+//
+//	offset  size  field
+//	0       4     magic "DSEG" (0x47455344)
+//	4       4     format version (1)
+//	8       8     growth epoch this segment completes
+//	16      4     R1 RR sets in the payload
+//	20      4     R2 RR sets in the payload
+//	24      8     payload length in bytes
+//	32      ...   payload: R1 batch then R2 batch, AppendWireRange layout
+//	32+len  4     CRC32C over header + payload
+const (
+	segMagic      = 0x47455344 // "DSEG"
+	segVersion    = 1
+	segHeaderSize = 32
+	segFooterSize = 4
+)
+
+// writeSegment seals the RR sets r1[from1:] and r2[from2:] into one
+// segment file at path, durably (write temp + fsync + rename), and
+// returns its manifest record with File left blank for the caller to
+// fill in.
+func writeSegment(path string, epoch uint64, r1 *rrset.Collection, from1 int, r2 *rrset.Collection, from2 int) (EpochRecord, error) {
+	n1 := r1.Count() - from1
+	n2 := r2.Count() - from2
+	payload := int64(r1.WireSizeRange(from1) + r2.WireSizeRange(from2))
+	buf := make([]byte, segHeaderSize, segHeaderSize+int(payload)+segFooterSize)
+	binary.LittleEndian.PutUint32(buf[0:], segMagic)
+	binary.LittleEndian.PutUint32(buf[4:], segVersion)
+	binary.LittleEndian.PutUint64(buf[8:], epoch)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(n1))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(n2))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(payload))
+	buf = r1.AppendWireRange(buf, from1)
+	buf = r2.AppendWireRange(buf, from2)
+	crc := checksum.Sum(buf)
+	var footer [segFooterSize]byte
+	binary.LittleEndian.PutUint32(footer[:], crc)
+	buf = append(buf, footer[:]...)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return EpochRecord{}, fmt.Errorf("store: staging segment: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return EpochRecord{}, fmt.Errorf("store: writing segment %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return EpochRecord{}, fmt.Errorf("store: closing segment %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return EpochRecord{}, fmt.Errorf("store: publishing segment %s: %w", path, err)
+	}
+	return EpochRecord{
+		Epoch:  epoch,
+		R1Sets: n1,
+		R2Sets: n2,
+		Bytes:  int64(len(buf)),
+		CRC:    crc,
+	}, nil
+}
+
+// readSegment loads the segment rec points at and appends its payload to
+// r1/r2 (either may be nil to verify without materializing). Checks run
+// from cheapest to most specific: manifest-vs-file size first (the
+// truncation signal), then the CRC32C footer (any flipped bit), then
+// header consistency against the manifest (stale manifest), and finally
+// the wire decode itself.
+func readSegment(path string, rec EpochRecord, r1, r2 *rrset.Collection) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &ManifestStaleError{Dir: filepath.Dir(path), Reason: fmt.Sprintf("segment %s listed in the manifest is missing", rec.File)}
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading segment %s: %w", path, err)
+	}
+	if int64(len(data)) != rec.Bytes {
+		return &SegmentTruncatedError{Path: path, WantBytes: rec.Bytes, GotBytes: int64(len(data))}
+	}
+	if len(data) < segHeaderSize+segFooterSize {
+		return &SegmentTruncatedError{Path: path, WantBytes: segHeaderSize + segFooterSize, GotBytes: int64(len(data))}
+	}
+	body := data[:len(data)-segFooterSize]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-segFooterSize:])
+	if got := checksum.Sum(body); got != wantCRC {
+		return &SegmentChecksumError{Path: path, Want: wantCRC, Got: got}
+	}
+	if magic := binary.LittleEndian.Uint32(body[0:]); magic != segMagic {
+		return &CorruptSegmentError{Path: path, Reason: fmt.Sprintf("bad magic %#x", magic)}
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != segVersion {
+		return &CorruptSegmentError{Path: path, Reason: fmt.Sprintf("segment version %d, this build reads %d", v, segVersion)}
+	}
+	epoch := binary.LittleEndian.Uint64(body[8:])
+	n1 := int(binary.LittleEndian.Uint32(body[16:]))
+	n2 := int(binary.LittleEndian.Uint32(body[20:]))
+	payloadLen := binary.LittleEndian.Uint64(body[24:])
+	if epoch != rec.Epoch || n1 != rec.R1Sets || n2 != rec.R2Sets {
+		return &ManifestStaleError{Dir: filepath.Dir(path), Reason: fmt.Sprintf(
+			"segment %s holds epoch %d with %d+%d RR sets, manifest recorded epoch %d with %d+%d",
+			rec.File, epoch, n1, n2, rec.Epoch, rec.R1Sets, rec.R2Sets)}
+	}
+	if int(payloadLen) != len(body)-segHeaderSize {
+		return &CorruptSegmentError{Path: path, Reason: fmt.Sprintf(
+			"declared payload %d bytes, file holds %d", payloadLen, len(body)-segHeaderSize)}
+	}
+	payload := body[segHeaderSize:]
+	if r1 == nil {
+		r1 = rrset.NewCollection(0)
+	}
+	got1, rest, err := rrset.DecodeWire(payload, r1)
+	if err != nil {
+		return &CorruptSegmentError{Path: path, Reason: err.Error()}
+	}
+	if r2 == nil {
+		r2 = rrset.NewCollection(0)
+	}
+	got2, rest, err2 := rrset.DecodeWire(rest, r2)
+	if err2 != nil {
+		return &CorruptSegmentError{Path: path, Reason: err2.Error()}
+	}
+	if got1 != n1 || got2 != n2 || len(rest) != 0 {
+		return &CorruptSegmentError{Path: path, Reason: fmt.Sprintf(
+			"payload decodes to %d+%d RR sets with %d trailing bytes, header declared %d+%d",
+			got1, got2, len(rest), n1, n2)}
+	}
+	return nil
+}
