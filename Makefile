@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen serve bench-serve bench-store
+.PHONY: build test race bench rrgen bench-select serve bench-serve bench-store
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive packages: sharded RR generation, the cluster
-# transports, the query service, and the durable store run under the
-# race detector.
+# The concurrency-sensitive packages: sharded RR generation, the parallel
+# select kernel, the cluster transports, the query service, and the
+# durable store run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/rrset/... ./internal/serve/... ./internal/store/...
+	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/rrset/... ./internal/serve/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -21,6 +21,11 @@ bench:
 # level on this box).
 rrgen:
 	$(GO) run ./cmd/experiments -run rrgen
+
+# Regenerates BENCH_SELECT.json (NEWGREEDI selection critical path and
+# delta-encoding traffic per kernel parallelism level on this box).
+bench-select:
+	$(GO) run ./cmd/experiments -run select
 
 # Starts the resident query service on a synthetic graph — handy for
 # poking the HTTP API with curl (see README "Serving").

@@ -40,12 +40,12 @@ func main() {
 	log.SetPrefix("dimmd: ")
 
 	var (
-		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
-		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
-		weights    = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
-		uniformP   = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
-		listen     = flag.String("listen", ":7001", "address to serve the worker protocol on")
-		modelName  = flag.String("model", "ic", "diffusion model: ic|lt")
+		graphPath   = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
+		weights     = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
+		uniformP    = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
+		listen      = flag.String("listen", ":7001", "address to serve the worker protocol on")
+		modelName   = flag.String("model", "ic", "diffusion model: ic|lt")
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling")
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines for this worker (0 = auto: GOMAXPROCS, 1 = sequential); must match across workers for reproducible runs")
 		seed        = flag.Uint64("seed", 1, "base random seed (same on every worker)")

@@ -34,23 +34,24 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,serve,store,all (rrgen, serve and store only run when named)")
-		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
-		k        = flag.Int("k", 50, "seed set size")
-		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
-		seed     = flag.Uint64("seed", 20220501, "base random seed")
-		clusters = flag.String("cluster-sizes", "1,2,4,8,16", "ℓ sweep for the TCP-cluster figures")
-		cores    = flag.String("core-counts", "1,2,4,8,16,32,64", "ℓ sweep for the multi-core figures")
-		datasets = flag.String("datasets", "", "comma list of datasets (default: all four)")
-		outPath  = flag.String("out", "", "also write the report to this file")
-		report   = flag.String("report", "", "run everything and write an EXPERIMENTS.md-style markdown report to this file")
-		repeats  = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
-		linkRTT  = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
-		linkGbps = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
-		par      = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
-		rrgenOut = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
-		serveOut = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
-		storeOut = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
+		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,all (rrgen, select, serve and store only run when named)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
+		k         = flag.Int("k", 50, "seed set size")
+		eps       = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
+		seed      = flag.Uint64("seed", 20220501, "base random seed")
+		clusters  = flag.String("cluster-sizes", "1,2,4,8,16", "ℓ sweep for the TCP-cluster figures")
+		cores     = flag.String("core-counts", "1,2,4,8,16,32,64", "ℓ sweep for the multi-core figures")
+		datasets  = flag.String("datasets", "", "comma list of datasets (default: all four)")
+		outPath   = flag.String("out", "", "also write the report to this file")
+		report    = flag.String("report", "", "run everything and write an EXPERIMENTS.md-style markdown report to this file")
+		repeats   = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
+		linkRTT   = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
+		linkGbps  = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
+		par       = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
+		rrgenOut  = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
+		selectOut = flag.String("select-out", "BENCH_SELECT.json", "JSON output path for -run select (empty = print only)")
+		serveOut  = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
+		storeOut  = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
 	)
 	flag.Parse()
 
@@ -124,10 +125,16 @@ func main() {
 	step("fig8", func() error { _, err := cfg.Fig8(); return err })
 	step("fig9", func() error { _, err := cfg.Fig9(); return err })
 	step("fig10", func() error { _, err := cfg.Fig10(); return err })
-	// rrgen, serve and store write BENCH_*.json, so they only run when named.
+	// rrgen, select, serve and store write BENCH_*.json, so they only run
+	// when named.
 	if want["rrgen"] {
 		if _, err := cfg.RRGen(*rrgenOut); err != nil {
 			log.Fatalf("rrgen: %v", err)
+		}
+	}
+	if want["select"] {
+		if _, err := cfg.Select(*selectOut); err != nil {
+			log.Fatalf("select: %v", err)
 		}
 	}
 	if want["serve"] {

@@ -17,7 +17,7 @@ type RRGenOptions struct {
 	Nodes     int     // synthetic graph size (default 50_000)
 	AvgDegree float64 // synthetic graph average degree (default 10)
 	Model     diffusion.Model
-	Subset    bool  // SUBSIM subset sampling
+	Subset    bool // SUBSIM subset sampling
 	Seed      uint64
 	Count     int64 // RR sets generated per parallelism level (default 200_000)
 	Ps        []int // parallelism sweep (default 1,2,4,8)
@@ -53,6 +53,11 @@ type RRGenResult struct {
 	ProbesPerSec     float64 `json:"probes_per_sec"`
 	AllocBytesPerSet float64 `json:"alloc_bytes_per_set"`
 	SpeedupVsP1      float64 `json:"speedup_vs_p1"`
+	// Skipped marks levels the box cannot honestly measure: running P
+	// goroutines on fewer than P CPUs time-slices the shards and reports
+	// a meaningless (often sub-1×) "speedup".
+	Skipped bool   `json:"skipped,omitempty"`
+	Warning string `json:"warning,omitempty"`
 }
 
 // RRGenReport is the machine-readable record written to BENCH_RRGEN.json
@@ -96,6 +101,15 @@ func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
 		Count:      opt.Count,
 	}
 	for _, p := range opt.Ps {
+		if p > rep.NumCPU {
+			rep.Results = append(rep.Results, RRGenResult{
+				Parallelism: p,
+				Skipped:     true,
+				Warning: fmt.Sprintf("parallelism %d exceeds the box's %d CPU(s); a timed run would report time-slicing, not speedup",
+					p, rep.NumCPU),
+			})
+			continue
+		}
 		s, err := rrset.NewShardedSampler(g, opt.Model, opt.Seed, opt.Subset, p)
 		if err != nil {
 			return nil, err
@@ -121,7 +135,10 @@ func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
 			ProbesPerSec:     float64(coll.EdgesExamined()) / secs,
 			AllocBytesPerSet: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(coll.Count()),
 		}
-		if len(rep.Results) > 0 && rep.Results[0].Parallelism == 1 {
+		if rep.GOMAXPROCS < p {
+			res.Warning = fmt.Sprintf("GOMAXPROCS=%d caps the %d shards; speedup is bounded by the smaller", rep.GOMAXPROCS, p)
+		}
+		if len(rep.Results) > 0 && rep.Results[0].Parallelism == 1 && !rep.Results[0].Skipped {
 			res.SpeedupVsP1 = res.SetsPerSec / rep.Results[0].SetsPerSec
 		} else if p == 1 {
 			res.SpeedupVsP1 = 1
@@ -163,8 +180,15 @@ func (c Config) rrgen(opt RRGenOptions, jsonPath string) (*RRGenReport, error) {
 		rep.GOMAXPROCS, rep.NumCPU)
 	c.printf("%4s %12s %12s %14s %12s %8s\n", "P", "sets", "sets/s", "probes/s", "alloc/set", "speedup")
 	for _, r := range rep.Results {
+		if r.Skipped {
+			c.printf("%4d %12s (%s)\n", r.Parallelism, "skipped", r.Warning)
+			continue
+		}
 		c.printf("%4d %12s %12.0f %14.0f %10.1fB %7.2fx\n",
 			r.Parallelism, fmtCount(r.Sets), r.SetsPerSec, r.ProbesPerSec, r.AllocBytesPerSet, r.SpeedupVsP1)
+		if r.Warning != "" {
+			c.printf("     warning: %s\n", r.Warning)
+		}
 	}
 	if jsonPath != "" {
 		if err := rep.WriteJSON(jsonPath); err != nil {

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dimm/internal/cluster"
+	"dimm/internal/coverage"
+	"dimm/internal/xrand"
+)
+
+// SelectOptions configures the NEWGREEDI selection critical-path sweep:
+// one fixed max-coverage instance, selected at several kernel
+// parallelism levels. The instance is ingested (not sampled), so every
+// level sees byte-identical worker state and any seed divergence is the
+// parallel kernel's fault.
+type SelectOptions struct {
+	Nodes    int    // selectable item space (default 30_000)
+	Sets     int    // element lists in the instance (default 300_000)
+	AvgSize  int    // average list size (default 8)
+	K        int    // seeds to select (default 50)
+	Machines int    // workers ℓ (default 2)
+	Seed     uint64 // instance seed
+	Ps       []int  // kernel parallelism sweep (default 1,2,4,8)
+}
+
+func (o SelectOptions) withDefaults() SelectOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 30_000
+	}
+	if o.Sets == 0 {
+		o.Sets = 300_000
+	}
+	if o.AvgSize == 0 {
+		o.AvgSize = 8
+	}
+	if o.K == 0 {
+		o.K = 50
+	}
+	if o.Machines == 0 {
+		o.Machines = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 20220501
+	}
+	if len(o.Ps) == 0 {
+		o.Ps = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+// SelectResult is one parallelism level of the sweep.
+type SelectResult struct {
+	Parallelism   int     `json:"parallelism"`
+	Seconds       float64 `json:"seconds"`        // selection wall time
+	SelCritical   float64 `json:"sel_critical"`   // slowest-worker map-stage seconds
+	SelTotal      float64 `json:"sel_total"`      // summed worker map-stage seconds
+	MasterCompute float64 `json:"master_compute"` // master merge + bucket-scan seconds
+	SelBytes      int64   `json:"sel_bytes"`      // selection-phase wire bytes (both directions)
+	DeltaBytes    int64   `json:"delta_bytes"`    // adaptive delta frame bytes
+	FixedBytes    int64   `json:"fixed_bytes"`    // what fixed-width framing would have cost
+	Coverage      int64   `json:"coverage"`       // covered elements after K seeds
+	SpeedupVsP1   float64 `json:"speedup_vs_p1"`  // SelCritical(P=1) / SelCritical(P)
+	Skipped       bool    `json:"skipped,omitempty"`
+	Warning       string  `json:"warning,omitempty"`
+}
+
+// SelectReport is the machine-readable record written to
+// BENCH_SELECT.json. Interpretation needs the CPU fields: the map-stage
+// speedup requires idle cores, and levels the box cannot honestly time
+// are skipped rather than reported as bogus sub-1× rows.
+type SelectReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Nodes      int            `json:"nodes"`
+	Sets       int            `json:"sets"`
+	AvgSize    int            `json:"avg_size"`
+	K          int            `json:"k"`
+	Machines   int            `json:"machines"`
+	Seed       uint64         `json:"seed"`
+	Seeds      []uint32       `json:"seeds"` // identical at every level, by construction
+	Results    []SelectResult `json:"results"`
+}
+
+// selectInstance synthesizes the max-coverage instance: Sets element
+// lists whose members are skew-distributed over Nodes (the product of two
+// uniforms concentrates mass near 0, giving the heavy-tailed degree
+// profile real RR samples have), pre-split round-robin across Machines.
+func selectInstance(opt SelectOptions) [][][]uint32 {
+	r := xrand.New(opt.Seed)
+	perWorker := make([][][]uint32, opt.Machines)
+	for i := 0; i < opt.Sets; i++ {
+		sz := 1 + r.Intn(2*opt.AvgSize-1)
+		set := make([]uint32, 0, sz)
+		for len(set) < sz {
+			v := uint32(float64(opt.Nodes) * r.Float64() * r.Float64())
+			if v >= uint32(opt.Nodes) {
+				v = uint32(opt.Nodes - 1)
+			}
+			dup := false
+			for _, x := range set {
+				dup = dup || x == v
+			}
+			if !dup {
+				set = append(set, v)
+			}
+		}
+		w := i % opt.Machines
+		perWorker[w] = append(perWorker[w], set)
+	}
+	return perWorker
+}
+
+// RunSelectBench measures the NEWGREEDI selection critical path across
+// the kernel parallelism sweep. Every level ingests the same instance
+// into ℓ fresh workers, runs the exact lazy greedy through the cluster
+// oracle under sequential broadcast (so per-worker handler timings are
+// exact and the measured worker's kernel owns the cores), and reports
+// the map-stage critical path plus the selection wire traffic under the
+// adaptive delta encoding against the fixed-width baseline.
+func RunSelectBench(opt SelectOptions) (*SelectReport, error) {
+	opt = opt.withDefaults()
+	perWorker := selectInstance(opt)
+	rep := &SelectReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Nodes:      opt.Nodes,
+		Sets:       opt.Sets,
+		AvgSize:    opt.AvgSize,
+		K:          opt.K,
+		Machines:   opt.Machines,
+		Seed:       opt.Seed,
+	}
+	var baseCritical float64
+	for _, p := range opt.Ps {
+		if p > rep.NumCPU {
+			rep.Results = append(rep.Results, SelectResult{
+				Parallelism: p,
+				Skipped:     true,
+				Warning: fmt.Sprintf("parallelism %d exceeds the box's %d CPU(s); a timed run would report time-slicing, not speedup",
+					p, rep.NumCPU),
+			})
+			continue
+		}
+		cfgs := make([]cluster.WorkerConfig, opt.Machines)
+		for i := range cfgs {
+			cfgs[i] = cluster.WorkerConfig{Parallelism: p}
+		}
+		cl, err := cluster.NewLocal(cfgs, opt.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetSequentialBroadcast(true)
+		for w := range perWorker {
+			if err := cl.Ingest(w, perWorker[w]); err != nil {
+				cl.Close()
+				return nil, err
+			}
+		}
+		before := cl.Metrics() // ingest syncs degrees; exclude it
+		start := time.Now()
+		res, err := coverage.RunGreedy(cl.Oracle(), opt.K)
+		secs := time.Since(start).Seconds()
+		after := cl.Metrics()
+		cl.Close()
+		if err != nil {
+			return nil, err
+		}
+		if rep.Seeds == nil {
+			rep.Seeds = res.Seeds
+		} else if fmt.Sprint(rep.Seeds) != fmt.Sprint(res.Seeds) {
+			return nil, fmt.Errorf("bench: P=%d selected different seeds than P=%d — parallel kernel broke determinism",
+				p, rep.Results[0].Parallelism)
+		}
+		r := SelectResult{
+			Parallelism:   p,
+			Seconds:       secs,
+			SelCritical:   (after.SelCritical - before.SelCritical).Seconds(),
+			SelTotal:      (after.SelTotal - before.SelTotal).Seconds(),
+			MasterCompute: (after.MasterCompute - before.MasterCompute).Seconds(),
+			SelBytes:      (after.SelBytesSent - before.SelBytesSent) + (after.SelBytesReceived - before.SelBytesReceived),
+			DeltaBytes:    after.DeltaBytes - before.DeltaBytes,
+			FixedBytes:    13*(after.DeltaFrames-before.DeltaFrames) + 8*(after.DeltaPairs-before.DeltaPairs),
+			Coverage:      res.Coverage,
+		}
+		if rep.GOMAXPROCS < p {
+			r.Warning = fmt.Sprintf("GOMAXPROCS=%d caps the %d kernel goroutines; speedup is bounded by the smaller", rep.GOMAXPROCS, p)
+		}
+		if baseCritical == 0 && p == 1 {
+			baseCritical = r.SelCritical
+		}
+		if baseCritical > 0 && r.SelCritical > 0 {
+			r.SpeedupVsP1 = baseCritical / r.SelCritical
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *SelectReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Select runs the selection critical-path sweep at the harness's seed,
+// prints a table, and — when jsonPath is non-empty — records the report
+// machine-readably (BENCH_SELECT.json).
+func (c Config) Select(jsonPath string) (*SelectReport, error) {
+	rep, err := RunSelectBench(SelectOptions{Seed: c.Seed, K: c.K})
+	if err != nil {
+		return nil, err
+	}
+	c.printf("\n== NEWGREEDI selection critical path (ℓ=%d, k=%d, GOMAXPROCS=%d, %d CPUs) ==\n",
+		rep.Machines, rep.K, rep.GOMAXPROCS, rep.NumCPU)
+	c.printf("%4s %10s %12s %12s %12s %12s %8s\n",
+		"P", "wall", "SelCritical", "master", "sel bytes", "delta bytes", "speedup")
+	for _, r := range rep.Results {
+		if r.Skipped {
+			c.printf("%4d %10s (%s)\n", r.Parallelism, "skipped", r.Warning)
+			continue
+		}
+		c.printf("%4d %9.3fs %11.3fs %11.3fs %12s %12s %7.2fx\n",
+			r.Parallelism, r.Seconds, r.SelCritical, r.MasterCompute,
+			fmtCount(r.SelBytes), fmtCount(r.DeltaBytes), r.SpeedupVsP1)
+		if r.Warning != "" {
+			c.printf("     warning: %s\n", r.Warning)
+		}
+	}
+	if len(rep.Results) > 0 && !rep.Results[0].Skipped {
+		r0 := rep.Results[0]
+		if r0.FixedBytes > 0 {
+			c.printf("adaptive delta frames: %s vs %s fixed-width (%.2fx)\n",
+				fmtCount(r0.DeltaBytes), fmtCount(r0.FixedBytes),
+				float64(r0.FixedBytes)/float64(max64(r0.DeltaBytes, 1)))
+		}
+	}
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", jsonPath, err)
+		}
+		c.printf("wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSelectBenchSmoke runs a miniature selection sweep end to end:
+// the report must carry identical seeds at every measured level, honest
+// skip records for levels beyond the box's CPUs, and consistent byte
+// accounting (adaptive delta bytes never above the fixed-width cost the
+// encoder replaced, both inside the selection-phase totals).
+func TestRunSelectBenchSmoke(t *testing.T) {
+	rep, err := RunSelectBench(SelectOptions{
+		Nodes: 400, Sets: 6_000, AvgSize: 5, K: 8, Seed: 9, Ps: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(rep.Results))
+	}
+	if len(rep.Seeds) != 8 {
+		t.Fatalf("report carries %d seeds, want k=8", len(rep.Seeds))
+	}
+	for _, r := range rep.Results {
+		if r.Skipped {
+			if r.Parallelism <= rep.NumCPU || r.Warning == "" || r.Seconds != 0 {
+				t.Fatalf("P=%d: bad skip record: %+v", r.Parallelism, r)
+			}
+			continue
+		}
+		if r.Coverage <= 0 || r.Coverage != rep.Results[0].Coverage {
+			t.Fatalf("P=%d coverage %d diverges from P=1's %d", r.Parallelism, r.Coverage, rep.Results[0].Coverage)
+		}
+		if r.SelCritical <= 0 || r.Seconds <= 0 {
+			t.Fatalf("P=%d: non-positive timings: %+v", r.Parallelism, r)
+		}
+		if r.DeltaBytes <= 0 || r.FixedBytes <= 0 || r.DeltaBytes > r.FixedBytes {
+			t.Fatalf("P=%d: adaptive frames (%dB) should not exceed the fixed-width baseline (%dB)",
+				r.Parallelism, r.DeltaBytes, r.FixedBytes)
+		}
+		if r.SelBytes < r.DeltaBytes {
+			t.Fatalf("P=%d: selection-phase bytes %d below their delta-frame component %d",
+				r.Parallelism, r.SelBytes, r.DeltaBytes)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "select.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SelectReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != rep.K || len(back.Results) != len(rep.Results) || len(back.Seeds) != len(rep.Seeds) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestConfigSelectPrintsTableAndWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size sweep")
+	}
+	var buf bytes.Buffer
+	c := Config{Out: &buf, Seed: 5, K: 10}
+	path := filepath.Join(t.TempDir(), "select.json")
+	if _, err := c.Select(path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("SelCritical")) {
+		t.Fatalf("table missing from output: %q", buf.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("JSON report not written: %v", err)
+	}
+}

@@ -39,6 +39,22 @@ type Metrics struct {
 	// all connections (master's perspective).
 	BytesSent     int64
 	BytesReceived int64
+	// GenBytes*/SelBytes* split the broadcast traffic by phase (the same
+	// gen/sel attribution as the time aggregates above), so the sampling
+	// traffic of §III-B and the selection traffic of §III-D — the O(kn)
+	// bound the adaptive delta encoding attacks — can be read separately.
+	GenBytesSent     int64
+	GenBytesReceived int64
+	SelBytesSent     int64
+	SelBytesReceived int64
+	// DeltaFrames/DeltaPairs/DeltaBytes count the msgDegreeDelta and
+	// msgSelect replies decoded, the ⟨v, Δ⟩ pairs they carried, and their
+	// frame bytes. 13 + 8·pairs bytes per frame is what the retired
+	// fixed-width encoding would have cost — the baseline the adaptive
+	// encoding's DeltaBytes is judged against.
+	DeltaFrames int64
+	DeltaPairs  int64
+	DeltaBytes  int64
 	// Rounds counts broadcast round trips.
 	Rounds int64
 }
@@ -65,6 +81,29 @@ func (m *Metrics) add(phase string, wall time.Duration, handlers []time.Duration
 		m.Comm += wall - sum
 	}
 	m.Rounds++
+}
+
+// account merges one broadcast round into the metrics under the given
+// phase and attributes the round's frame bytes to that phase's byte
+// counters.
+func (c *Cluster) account(phase string, wall time.Duration, handlers []time.Duration) {
+	c.met.add(phase, wall, handlers)
+	if phase == "gen" {
+		c.met.GenBytesSent += c.roundSent
+		c.met.GenBytesReceived += c.roundRecv
+	} else {
+		c.met.SelBytesSent += c.roundSent
+		c.met.SelBytesReceived += c.roundRecv
+	}
+	c.roundSent, c.roundRecv = 0, 0
+}
+
+// countDeltaFrame records one decoded delta reply's frame size and pair
+// count, the data behind the fixed-width-vs-adaptive wire comparison.
+func (c *Cluster) countDeltaFrame(frame []byte, pairs []DeltaPair) {
+	c.met.DeltaFrames++
+	c.met.DeltaPairs += int64(len(pairs))
+	c.met.DeltaBytes += int64(len(frame))
 }
 
 // CriticalPath estimates the wall clock of a genuinely parallel
@@ -107,6 +146,11 @@ type Cluster struct {
 	// with sequential broadcast.
 	linkRTT time.Duration
 	linkBw  float64 // bytes per second through the master; 0 = infinite
+
+	// roundSent/roundRecv hold the last broadcast's frame bytes until
+	// account attributes them to a phase.
+	roundSent int64
+	roundRecv int64
 
 	met Metrics
 }
@@ -223,6 +267,14 @@ func (c *Cluster) broadcast(reqs [][]byte) ([][]byte, time.Duration, error) {
 			return nil, wall, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 	}
+	c.roundSent, c.roundRecv = 0, 0
+	for i := range reqs {
+		if reqs[i] == nil {
+			continue
+		}
+		c.roundSent += int64(len(reqs[i]))
+		c.roundRecv += int64(len(resps[i]))
+	}
 	if c.linkRTT > 0 || c.linkBw > 0 {
 		var totalBytes int
 		for i := range reqs {
@@ -284,7 +336,7 @@ func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
 		agg.TotalSize += s.TotalSize
 		agg.EdgesExamined += s.EdgesExamined
 	}
-	c.met.add("gen", wall, handlers)
+	c.account("gen", wall, handlers)
 	return agg, c.syncDegrees()
 }
 
@@ -299,12 +351,13 @@ func (c *Cluster) syncDegrees() error {
 	var buf []DeltaPair
 	start := time.Now()
 	for i, resp := range resps {
-		nanos, pairs, err := decodeDeltasResp(resp, buf)
+		nanos, pairs, err := decodeDeltasResp(resp, buf, i)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		buf = pairs
 		handlers[i] = time.Duration(nanos)
+		c.countDeltaFrame(resp, pairs)
 		for _, p := range pairs {
 			if int(p.Node) >= c.numItems {
 				return fmt.Errorf("cluster: worker %d reported node %d outside item space", i, p.Node)
@@ -313,7 +366,7 @@ func (c *Cluster) syncDegrees() error {
 		}
 	}
 	c.met.MasterCompute += time.Since(start)
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return nil
 }
 
@@ -336,7 +389,7 @@ func (c *Cluster) Ingest(worker int, lists [][]uint32) error {
 	if err != nil {
 		return err
 	}
-	c.met.add("sel", wall, []time.Duration{time.Duration(nanos)})
+	c.account("sel", wall, []time.Duration{time.Duration(nanos)})
 	// Fold the ingested lists' coverage into the baseline.
 	return c.syncDegreesOne(worker)
 }
@@ -349,17 +402,18 @@ func (c *Cluster) syncDegreesOne(worker int) error {
 	if err != nil {
 		return err
 	}
-	nanos, pairs, err := decodeDeltasResp(resps[worker], nil)
+	nanos, pairs, err := decodeDeltasResp(resps[worker], nil, worker)
 	if err != nil {
 		return err
 	}
+	c.countDeltaFrame(resps[worker], pairs)
 	for _, p := range pairs {
 		if int(p.Node) >= c.numItems {
 			return fmt.Errorf("cluster: worker %d reported node %d outside item space", worker, p.Node)
 		}
 		c.baseDeg[p.Node] += int64(p.Dec)
 	}
-	c.met.add("sel", wall, []time.Duration{time.Duration(nanos)})
+	c.account("sel", wall, []time.Duration{time.Duration(nanos)})
 	return nil
 }
 
@@ -381,7 +435,7 @@ func (c *Cluster) Stats() (GenerateStats, error) {
 		agg.TotalSize += s.TotalSize
 		agg.EdgesExamined += s.EdgesExamined
 	}
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return agg, nil
 }
 
@@ -399,7 +453,7 @@ func (c *Cluster) Reset() error {
 		}
 		handlers[i] = time.Duration(nanos)
 	}
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	for i := range c.baseDeg {
 		c.baseDeg[i] = 0
 	}
@@ -411,7 +465,7 @@ func (c *Cluster) Reset() error {
 // (rrset.DecodeWire — the same one the durable store replays segments
 // with), returning the number of RR sets appended.
 func decodeFetchResp(worker int, rest []byte, into *rrset.Collection) (int, error) {
-	payload, err := verifyFetchPayload(worker, rest)
+	payload, err := verifyFramePayload(worker, rest)
 	if err != nil {
 		return 0, err
 	}
@@ -451,7 +505,7 @@ func (c *Cluster) GatherAll() (*rrset.Collection, error) {
 		}
 	}
 	c.met.MasterCompute += time.Since(start)
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return union, nil
 }
 
@@ -499,7 +553,7 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 		next[i] = since[i] + added
 	}
 	c.met.MasterCompute += time.Since(start)
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return next, nil
 }
 
@@ -548,7 +602,7 @@ func (c *Cluster) EstimateSpread(seeds []uint32, rounds int64) (mean, stderr flo
 		sum += s
 		sumSq += sq
 	}
-	c.met.add("gen", wall, handlers)
+	c.account("gen", wall, handlers)
 	if totRounds == 0 {
 		return 0, 0, fmt.Errorf("cluster: no simulation rounds executed")
 	}
@@ -582,7 +636,7 @@ func (c *Cluster) CoverageOf(seeds []uint32) (int64, error) {
 		}
 		total += covered
 	}
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return total, nil
 }
 
@@ -615,7 +669,7 @@ func (o *distOracle) InitialDegrees() ([]int64, error) {
 		}
 		handlers[i] = time.Duration(nanos)
 	}
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	deg := make([]int64, len(c.baseDeg))
 	copy(deg, c.baseDeg)
 	return deg, nil
@@ -634,12 +688,13 @@ func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 	c.mergeTouched = c.mergeTouched[:0]
 	var buf []DeltaPair
 	for i, resp := range resps {
-		nanos, pairs, err := decodeDeltasResp(resp, buf)
+		nanos, pairs, err := decodeDeltasResp(resp, buf, i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		buf = pairs
 		handlers[i] = time.Duration(nanos)
+		c.countDeltaFrame(resp, pairs)
 		for _, p := range pairs {
 			if int(p.Node) >= c.numItems {
 				return nil, fmt.Errorf("cluster: worker %d delta for node %d outside item space", i, p.Node)
@@ -659,7 +714,7 @@ func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 		// change here. Baseline tracks all-uncovered degrees.
 	}
 	c.met.MasterCompute += time.Since(start)
-	c.met.add("sel", wall, handlers)
+	c.account("sel", wall, handlers)
 	return out, nil
 }
 

@@ -49,8 +49,8 @@ func TestProtoRoundTrip(t *testing.T) {
 			pairs[i] = DeltaPair{Node: uint32(r.Uint64()), Dec: int32(r.Intn(1 << 20))}
 		}
 		nanos := int64(r.Uint64() >> 1)
-		frame := encodeDeltasResp(nanos, pairs)
-		gotNanos, got, err := decodeDeltasResp(frame, nil)
+		frame := encodeDeltasResp(nanos, pairs, 0)
+		gotNanos, got, err := decodeDeltasResp(frame, nil, -1)
 		if err != nil || gotNanos != nanos || len(got) != len(pairs) {
 			return false
 		}
@@ -78,13 +78,13 @@ func TestProtoErrors(t *testing.T) {
 	if _, _, err := decodeRespHeader([]byte{1, 2}); err == nil {
 		t.Fatal("short frame accepted")
 	}
-	if _, _, err := decodeDeltasResp(encodeErrorResp(errTest("boom")), nil); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, _, err := decodeDeltasResp(encodeErrorResp(errTest("boom")), nil, -1); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("worker error not surfaced: %v", err)
 	}
 	// Corrupt pair count.
-	frame := encodeDeltasResp(0, []DeltaPair{{1, 2}})
+	frame := encodeDeltasResp(0, []DeltaPair{{1, 2}}, 0)
 	frame = frame[:len(frame)-3]
-	if _, _, err := decodeDeltasResp(frame, nil); err == nil {
+	if _, _, err := decodeDeltasResp(frame, nil, -1); err == nil {
 		t.Fatal("truncated delta frame accepted")
 	}
 }

@@ -4,35 +4,37 @@ import (
 	"errors"
 	"testing"
 
+	"dimm/internal/coverage"
 	"dimm/internal/diffusion"
 	"dimm/internal/rrset"
 )
 
 // flipConn wraps a Conn and, once armed, applies a targeted mutation to
-// fetch responses — a single flipped payload bit, a clipped tail, or a
-// forged declared length — modeling silent wire corruption rather than
-// the gross mangling of corruptConn.
+// responses of the targeted request kinds — a single flipped payload bit,
+// a clipped tail, or a forged declared length — modeling silent wire
+// corruption rather than the gross mangling of corruptConn.
 type flipConn struct {
 	inner Conn
-	mode  string // "flip" | "clip" | "len"
+	mode  string        // "flip" | "clip" | "len"
+	kinds map[byte]bool // request kinds whose responses get mutated
 	armed bool
 }
 
 func (c *flipConn) Call(req []byte) ([]byte, error) {
 	resp, err := c.inner.Call(req)
-	if err != nil || !c.armed || len(resp) < fetchPayloadOffset+4 {
+	if err != nil || !c.armed || len(resp) <= framePayloadOffset {
 		return resp, err
 	}
-	if len(req) == 0 || (req[0] != msgFetchAll && req[0] != msgFetchSince) {
-		return resp, nil // only fetch frames carry the trailer under test
+	if len(req) == 0 || !c.kinds[req[0]] {
+		return resp, nil // only the targeted frames carry the trailer under test
 	}
 	out := make([]byte, len(resp))
 	copy(out, resp)
 	switch c.mode {
 	case "flip":
-		out[fetchPayloadOffset+2] ^= 0x10 // one bit inside the RR payload
+		out[len(out)-1] ^= 0x10 // one bit inside the payload
 	case "clip":
-		out = out[:len(out)-4] // drop the last member
+		out = out[:len(out)-1] // drop the payload tail
 	case "len":
 		out[9]++ // declared length no longer matches the payload
 	}
@@ -42,33 +44,44 @@ func (c *flipConn) Call(req []byte) ([]byte, error) {
 func (c *flipConn) Bytes() (int64, int64) { return c.inner.Bytes() }
 func (c *flipConn) Close() error          { return c.inner.Close() }
 
+// flipCluster builds a 3-worker cluster whose worker 1 sits behind a
+// flipConn in the given mode, targeting the given request kinds.
+func flipCluster(t *testing.T, mode string, kinds ...byte) (*Cluster, *flipConn) {
+	t.Helper()
+	g := testGraph(t)
+	conns := make([]Conn, 3)
+	var bad *flipConn
+	for i := range conns {
+		w, err := NewWorker(WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(1, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c Conn = NewLocalConn(w)
+		if i == 1 {
+			bad = &flipConn{inner: c, mode: mode, kinds: make(map[byte]bool)}
+			for _, k := range kinds {
+				bad.kinds[k] = true
+			}
+			c = bad
+		}
+		conns[i] = c
+	}
+	cl, err := New(conns, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, bad
+}
+
 // TestFetchIntegrityTrailer: every silent mutation of a fetch frame must
 // surface as a typed *FrameIntegrityError naming the bad worker, on both
 // the GatherAll and FetchNew paths. Frames through a healthy conn must
 // keep verifying.
 func TestFetchIntegrityTrailer(t *testing.T) {
-	g := testGraph(t)
 	for _, mode := range []string{"flip", "clip", "len"} {
 		t.Run(mode, func(t *testing.T) {
-			conns := make([]Conn, 3)
-			var bad *flipConn
-			for i := range conns {
-				w, err := NewWorker(WorkerConfig{Graph: g, Model: diffusion.IC, Seed: DeriveSeed(1, i)})
-				if err != nil {
-					t.Fatal(err)
-				}
-				var c Conn = NewLocalConn(w)
-				if i == 1 {
-					bad = &flipConn{inner: c, mode: mode}
-					c = bad
-				}
-				conns[i] = c
-			}
-			cl, err := New(conns, g.NumNodes())
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer cl.Close()
+			cl, bad := flipCluster(t, mode, msgFetchAll, msgFetchSince)
 			if _, err := cl.Generate(40); err != nil {
 				t.Fatal(err)
 			}
@@ -101,6 +114,44 @@ func TestFetchIntegrityTrailer(t *testing.T) {
 			bad.armed = false
 			if _, err := cl.FetchNew(since, rrset.NewCollection(16)); err != nil {
 				t.Fatalf("healed FetchNew: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeltaIntegrityTrailer: the adaptive delta frames (msgSelect and
+// msgDegreeDelta replies) carry the same declared-length + CRC trailer as
+// fetch frames, so any silent mutation must fail selection or degree sync
+// with a typed *FrameIntegrityError naming the bad worker, and the
+// cluster must recover once the link heals.
+func TestDeltaIntegrityTrailer(t *testing.T) {
+	for _, mode := range []string{"flip", "clip", "len"} {
+		t.Run(mode, func(t *testing.T) {
+			cl, bad := flipCluster(t, mode, msgSelect, msgDegreeDelta)
+			if _, err := cl.Generate(60); err != nil {
+				t.Fatal(err)
+			}
+			// Healthy selection works end to end.
+			if _, err := coverage.RunGreedy(cl.Oracle(), 2); err != nil {
+				t.Fatalf("healthy selection: %v", err)
+			}
+
+			bad.armed = true
+			var fe *FrameIntegrityError
+			if _, err := coverage.RunGreedy(cl.Oracle(), 2); !errors.As(err, &fe) {
+				t.Fatalf("selection with %s corruption: got %v, want FrameIntegrityError", mode, err)
+			}
+			if fe.Worker != 1 {
+				t.Fatalf("error blames worker %d, corrupted worker 1", fe.Worker)
+			}
+			// The degree-sync path decodes the same frame form.
+			if _, err := cl.Generate(20); !errors.As(err, &fe) {
+				t.Fatalf("degree sync with %s corruption: got %v, want FrameIntegrityError", mode, err)
+			}
+
+			bad.armed = false
+			if _, err := coverage.RunGreedy(cl.Oracle(), 2); err != nil {
+				t.Fatalf("healed selection: %v", err)
 			}
 		})
 	}

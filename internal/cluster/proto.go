@@ -13,6 +13,9 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+
+	"dimm/internal/checksum"
 )
 
 // Request and response type tags.
@@ -191,16 +194,71 @@ func encodeStatsResp(tag byte, handlerNanos int64, s GenerateStats) []byte {
 	return b
 }
 
-func encodeDeltasResp(handlerNanos int64, pairs []DeltaPair) []byte {
-	b := make([]byte, 0, 1+8+4+8*len(pairs))
+// Delta replies (msgDegreeDelta, msgSelect) travel behind the same
+// declared-length + CRC32C trailer as fetch frames, in whichever of two
+// payload forms is smaller for the reply at hand:
+//
+//   - sparse (form byte 1): uvarint pair count, then per pair the node id
+//     as a zig-zag varint gap from the previous pair's node id and the
+//     decrement as a uvarint. Node-sorted pairs make every gap small and
+//     positive (1-2 bytes against the fixed encoding's 8), but any pair
+//     order round-trips exactly.
+//   - dense (form byte 2): u32 item count n, then n little-endian int32
+//     decrements indexed by node id. Early seeds touch a large fraction
+//     of all n nodes, where per-pair ids cost more than the flat vector;
+//     4n bytes is the break-even the encoder switches at.
+//
+// The encoder only considers the dense form when numItems > 0 and the
+// pairs hold strictly ascending node ids with positive decrements — the
+// invariant of the worker's drain paths (which sort); numItems = 0
+// forces the sparse form for arbitrary pair lists.
+const (
+	deltaFormSparse = byte(1)
+	deltaFormDense  = byte(2)
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeDeltaPayload picks the smaller of the sparse and dense forms.
+func encodeDeltaPayload(pairs []DeltaPair, numItems int) []byte {
+	sparse := make([]byte, 0, 1+binary.MaxVarintLen32+6*len(pairs))
+	sparse = append(sparse, deltaFormSparse)
+	sparse = binary.AppendUvarint(sparse, uint64(len(pairs)))
+	prev := int64(0)
+	for _, p := range pairs {
+		sparse = binary.AppendUvarint(sparse, zigzag(int64(p.Node)-prev))
+		prev = int64(p.Node)
+		sparse = binary.AppendUvarint(sparse, uint64(uint32(p.Dec)))
+	}
+	denseSize := 1 + 4 + 4*numItems
+	if numItems <= 0 || len(sparse) <= denseSize {
+		return sparse
+	}
+	for i, p := range pairs {
+		if int(p.Node) >= numItems || p.Dec <= 0 || (i > 0 && pairs[i-1].Node >= p.Node) {
+			return sparse // drain invariant violated; stay lossless
+		}
+	}
+	dense := make([]byte, denseSize)
+	dense[0] = deltaFormDense
+	binary.LittleEndian.PutUint32(dense[1:5], uint32(numItems))
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint32(dense[5+4*int(p.Node):], uint32(p.Dec))
+	}
+	return dense
+}
+
+// encodeDeltasResp frames a delta payload: tag, handler nanos, then the
+// integrity trailer (declared length + CRC32C) and the adaptive payload.
+func encodeDeltasResp(handlerNanos int64, pairs []DeltaPair, numItems int) []byte {
+	payload := encodeDeltaPayload(pairs, numItems)
+	b := make([]byte, 0, framePayloadOffset+len(payload))
 	b = append(b, 0)
 	b = appendI64(b, handlerNanos)
-	b = appendU32(b, uint32(len(pairs)))
-	for _, p := range pairs {
-		b = appendU32(b, p.Node)
-		b = appendU32(b, uint32(p.Dec))
-	}
-	return b
+	b = appendU32(b, uint32(len(payload)))
+	b = appendU32(b, checksum.Sum(payload))
+	return append(b, payload...)
 }
 
 func encodeErrorResp(err error) []byte {
@@ -248,23 +306,74 @@ func decodeStatsResp(b []byte) (int64, GenerateStats, error) {
 	return nanos, s, nil
 }
 
-func decodeDeltasResp(b []byte, buf []DeltaPair) (int64, []DeltaPair, error) {
+// decodeDeltasResp verifies a delta reply's integrity trailer and decodes
+// either payload form into buf. worker names the sender in the typed
+// *FrameIntegrityError a corrupted trailer raises (-1 if unknown).
+func decodeDeltasResp(b []byte, buf []DeltaPair, worker int) (int64, []DeltaPair, error) {
 	nanos, rest, err := decodeRespHeader(b)
 	if err != nil {
 		return 0, nil, err
 	}
-	count, rest, err := consumeU32(rest)
+	payload, err := verifyFramePayload(worker, rest)
 	if err != nil {
 		return 0, nil, err
 	}
-	if int(count)*8 != len(rest) {
-		return 0, nil, fmt.Errorf("cluster: delta payload %d bytes for %d pairs", len(rest), count)
+	if len(payload) < 1 {
+		return 0, nil, fmt.Errorf("cluster: delta payload missing its form byte")
 	}
+	form, body := payload[0], payload[1:]
 	buf = buf[:0]
-	for i := uint32(0); i < count; i++ {
-		node := binary.LittleEndian.Uint32(rest[i*8:])
-		dec := int32(binary.LittleEndian.Uint32(rest[i*8+4:]))
-		buf = append(buf, DeltaPair{Node: node, Dec: dec})
+	switch form {
+	case deltaFormSparse:
+		count, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("cluster: bad sparse delta count")
+		}
+		body = body[n:]
+		if count > uint64(len(body)) { // every pair takes >= 2 bytes
+			return 0, nil, fmt.Errorf("cluster: sparse delta count %d exceeds the %d payload bytes", count, len(body))
+		}
+		prev := int64(0)
+		for i := uint64(0); i < count; i++ {
+			gap, n := binary.Uvarint(body)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("cluster: truncated sparse delta node gap")
+			}
+			body = body[n:]
+			node := prev + unzigzag(gap)
+			if node < 0 || node > math.MaxUint32 {
+				return 0, nil, fmt.Errorf("cluster: sparse delta node %d out of range", node)
+			}
+			prev = node
+			dec, n := binary.Uvarint(body)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("cluster: truncated sparse delta decrement")
+			}
+			body = body[n:]
+			if dec > math.MaxUint32 {
+				return 0, nil, fmt.Errorf("cluster: sparse delta decrement %d out of range", dec)
+			}
+			buf = append(buf, DeltaPair{Node: uint32(node), Dec: int32(uint32(dec))})
+		}
+		if len(body) != 0 {
+			return 0, nil, fmt.Errorf("cluster: %d trailing bytes after the sparse deltas", len(body))
+		}
+	case deltaFormDense:
+		if len(body) < 4 {
+			return 0, nil, fmt.Errorf("cluster: truncated dense delta header")
+		}
+		n := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if int64(n)*4 != int64(len(body)) {
+			return 0, nil, fmt.Errorf("cluster: dense delta payload %d bytes for %d items", len(body), n)
+		}
+		for i := uint32(0); i < n; i++ {
+			if dec := int32(binary.LittleEndian.Uint32(body[i*4:])); dec != 0 {
+				buf = append(buf, DeltaPair{Node: i, Dec: dec})
+			}
+		}
+	default:
+		return 0, nil, fmt.Errorf("cluster: unknown delta payload form %#x", form)
 	}
 	return nanos, buf, nil
 }

@@ -70,7 +70,7 @@ func TestWorkerStateSurvivesGarbage(t *testing.T) {
 	if _, err := decodeAckResp(w.Handle(encodeSimpleReq(msgBeginSelect))); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := decodeDeltasResp(w.Handle(encodeSelectReq(0)), nil); err != nil {
+	if _, _, err := decodeDeltasResp(w.Handle(encodeSelectReq(0)), nil, -1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -85,7 +85,7 @@ func TestDecodersNeverPanic(t *testing.T) {
 		}
 		_, _, _ = decodeRespHeader(frame)
 		_, _, _ = decodeStatsResp(frame)
-		_, _, _ = decodeDeltasResp(frame, nil)
+		_, _, _ = decodeDeltasResp(frame, nil, -1)
 		_, _ = decodeAckResp(frame)
 		_, _, _ = decodeEstimateReq(frame)
 		_, _ = decodeCoverageReq(frame)

@@ -338,32 +338,33 @@ func StartLoopbackWorker(cfg WorkerConfig) (net.Listener, Conn, error) {
 	return lis, conn, nil
 }
 
-// --- fetch-frame integrity --------------------------------------------------
+// --- frame integrity --------------------------------------------------------
 
-// fetchPayloadOffset is where a fetch response's wire payload begins:
-// 1 tag byte + 8 handler nanos + 4 declared length + 4 CRC32C.
-const fetchPayloadOffset = 1 + 8 + 4 + 4
+// framePayloadOffset is where a checksummed response's wire payload
+// begins: 1 tag byte + 8 handler nanos + 4 declared length + 4 CRC32C.
+const framePayloadOffset = 1 + 8 + 4 + 4
 
-// FrameIntegrityError reports a fetch response whose integrity trailer
-// does not match its payload: the declared length disagrees with the
-// bytes on the wire (truncation, concatenation) or the CRC32C does not
-// (corruption in transit). The RR payload is the one frame type the
-// master cannot cross-check semantically — a flipped bit would silently
-// skew the sample — so it is the one frame type that carries a checksum.
+// FrameIntegrityError reports a response whose integrity trailer does
+// not match its payload: the declared length disagrees with the bytes
+// on the wire (truncation, concatenation) or the CRC32C does not
+// (corruption in transit). The trailer guards the frame types the
+// master cannot cross-check semantically — RR fetch payloads, where a
+// flipped bit would silently skew the sample, and delta replies, where
+// it would silently skew the greedy's degree vector.
 type FrameIntegrityError struct {
 	Worker int    // worker index within the cluster, -1 if unknown
 	Reason string // human-readable mismatch description
 }
 
 func (e *FrameIntegrityError) Error() string {
-	return fmt.Sprintf("cluster: worker %d fetch frame failed integrity check: %s", e.Worker, e.Reason)
+	return fmt.Sprintf("cluster: worker %d frame failed integrity check: %s", e.Worker, e.Reason)
 }
 
-// verifyFetchPayload validates a fetch response's declared-length and
-// CRC32C trailer (written by Worker.fetchRange) and returns the verified
-// wire payload. rest is the frame after decodeRespHeader stripped the
-// tag and handler nanos.
-func verifyFetchPayload(worker int, rest []byte) ([]byte, error) {
+// verifyFramePayload validates a response's declared-length and CRC32C
+// trailer (written by Worker.fetchRange and encodeDeltasResp) and
+// returns the verified wire payload. rest is the frame after
+// decodeRespHeader stripped the tag and handler nanos.
+func verifyFramePayload(worker int, rest []byte) ([]byte, error) {
 	if len(rest) < 8 {
 		return nil, &FrameIntegrityError{Worker: worker, Reason: fmt.Sprintf(
 			"frame too short for the integrity trailer (%d bytes, want >= 8)", len(rest))}

@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"time"
 
+	"dimm/internal/bitset"
 	"dimm/internal/checksum"
+	"dimm/internal/coverage"
 	"dimm/internal/diffusion"
 	"dimm/internal/graph"
 	"dimm/internal/rrset"
@@ -21,12 +25,15 @@ type WorkerConfig struct {
 	// RootWeights, when non-nil, draws RR-set roots proportionally to the
 	// given per-node weights (targeted influence maximization).
 	RootWeights []float64
-	// Parallelism is the number of intra-worker RR-generation goroutines
-	// (shards). 0 or 1 samples sequentially on the handler goroutine,
-	// bit-identical to a plain Sampler; P > 1 runs P deterministic shard
-	// streams merged in shard order (see rrset.ShardedSampler), modeling a
-	// machine with P cores. Seed sets depend on (Seed, Parallelism), so
-	// all workers of a reproducible run must agree on P.
+	// Parallelism is the number of intra-worker goroutines, used on both
+	// sides of the algorithm: RR-generation shards and the map-stage
+	// Select kernel. 0 or 1 runs sequentially on the handler goroutine;
+	// P > 1 runs P deterministic shard streams merged in shard order
+	// (rrset.ShardedSampler for generation, coverage.SelectKernel for
+	// selection), modeling a machine with P cores. Generated samples
+	// depend on (Seed, Parallelism) — so all workers of a reproducible
+	// run must agree on P — while Select output is bit-identical at
+	// every P.
 	Parallelism int
 }
 
@@ -40,8 +47,11 @@ type Worker struct {
 	sim     *diffusion.Simulator // lazily built for msgEstimate
 	coll    *rrset.Collection
 
-	idx        *rrset.Index // lazily built, then extended incrementally
-	covered    []bool
+	idx     *rrset.Index // lazily built, then extended incrementally
+	covered *bitset.Bits // per-RR-set covered labels (1 bit each)
+	kern    *coverage.SelectKernel
+	// decScratch/touched are the degree-sync scratch (msgDegreeDelta);
+	// the per-seed map stage runs on kern instead.
 	decScratch []int32
 	touched    []uint32
 
@@ -79,6 +89,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		w.sampler = s
 		w.decScratch = make([]int32, cfg.Graph.NumNodes())
 	}
+	w.kern = coverage.NewSelectKernel(len(w.decScratch), cfg.Parallelism)
 	return w, nil
 }
 
@@ -133,7 +144,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs), nil
+		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs, w.numItems()), nil
 
 	case msgBeginSelect:
 		if err := w.beginSelection(); err != nil {
@@ -150,7 +161,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs), nil
+		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs, w.numItems()), nil
 
 	case msgStats:
 		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
@@ -266,6 +277,7 @@ func (w *Worker) ingest(payload []byte) error {
 		grown := make([]int32, need)
 		copy(grown, w.decScratch)
 		w.decScratch = grown
+		w.kern.Grow(need)
 	}
 	w.idx = nil
 	return nil
@@ -314,41 +326,32 @@ func (w *Worker) beginSelection() error {
 	if err := w.ensureIndex(); err != nil {
 		return err
 	}
-	if cap(w.covered) >= w.coll.Count() {
-		w.covered = w.covered[:w.coll.Count()]
-		for i := range w.covered {
-			w.covered[i] = false
-		}
+	if w.covered == nil {
+		w.covered = bitset.New(w.coll.Count())
 	} else {
-		w.covered = make([]bool, w.coll.Count())
+		w.covered.Reset(w.coll.Count())
 	}
 	return nil
 }
 
-// selectSeed is the map stage (Algorithm 1 lines 14–21) for new seed u.
+// selectSeed is the map stage (Algorithm 1 lines 14–21) for new seed u,
+// run on the shared coverage.SelectKernel: cfg.Parallelism goroutines
+// over contiguous chunks of the covers list, merged in shard order so
+// the reply frame is bit-identical at every parallelism level.
 func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
-	if w.idx == nil || len(w.covered) != w.coll.Count() {
+	if w.idx == nil || w.covered == nil || w.covered.Len() != w.coll.Count() {
 		return nil, fmt.Errorf("select before beginSelection")
 	}
 	if int(u) >= w.numItems() {
 		return nil, fmt.Errorf("seed %d outside item space %d", u, w.numItems())
 	}
-	w.touched = w.touched[:0]
-	for si := 0; si < w.idx.NumSegments(); si++ {
-		for _, j := range w.idx.SegCovers(si, u) {
-			if w.covered[j] {
-				continue
-			}
-			w.covered[j] = true
-			for _, v := range w.coll.Set(int(j)) {
-				if w.decScratch[v] == 0 {
-					w.touched = append(w.touched, v)
-				}
-				w.decScratch[v]++
-			}
-		}
-	}
-	return w.drainScratch(), nil
+	w.kern.Select(w.coll, w.idx, w.covered, u)
+	w.pairBuf = w.pairBuf[:0]
+	w.kern.Drain(func(node uint32, dec int32) {
+		w.pairBuf = append(w.pairBuf, DeltaPair{Node: node, Dec: dec})
+	})
+	sortPairs(w.pairBuf)
+	return w.pairBuf, nil
 }
 
 // fetchRange serializes the worker's RR sets [from, Count()). With from
@@ -362,15 +365,15 @@ func (w *Worker) selectSeed(u uint32) ([]DeltaPair, error) {
 // poison the sample (every other message type is counts and deltas the
 // master cross-checks), so the payload travels behind an integrity
 // trailer — declared length u32 + CRC32C u32 — that the master verifies
-// before decoding (verifyFetchPayload).
+// before decoding (verifyFramePayload).
 func (w *Worker) fetchRange(start time.Time, from int) []byte {
-	b := make([]byte, 0, fetchPayloadOffset+w.coll.WireSizeRange(from))
+	b := make([]byte, 0, framePayloadOffset+w.coll.WireSizeRange(from))
 	b = append(b, 0)
 	b = appendI64(b, 0) // handler nanos patched below
 	b = appendU32(b, 0) // declared payload length, patched below
 	b = appendU32(b, 0) // CRC32C of the payload, patched below
 	b = w.coll.AppendWireRange(b, from)
-	payload := b[fetchPayloadOffset:]
+	payload := b[framePayloadOffset:]
 	binary.LittleEndian.PutUint32(b[9:13], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[13:17], checksum.Sum(payload))
 	binary.LittleEndian.PutUint64(b[1:9], uint64(time.Since(start).Nanoseconds()))
@@ -458,7 +461,15 @@ func (w *Worker) drainScratch() []DeltaPair {
 		w.pairBuf = append(w.pairBuf, DeltaPair{Node: v, Dec: w.decScratch[v]})
 		w.decScratch[v] = 0
 	}
+	sortPairs(w.pairBuf)
 	return w.pairBuf
+}
+
+// sortPairs orders delta pairs by ascending node id before they hit the
+// wire: the adaptive encoder gap-codes node ids (small positive gaps
+// compress best) and its dense form requires ascending unique nodes.
+func sortPairs(pairs []DeltaPair) {
+	slices.SortFunc(pairs, func(a, b DeltaPair) int { return cmp.Compare(a.Node, b.Node) })
 }
 
 // DeriveSeed is a convenience re-export so callers do not import xrand

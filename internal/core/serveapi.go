@@ -60,7 +60,10 @@ func PlanResidentSample(n, kMax int, epsFloor, delta float64) (SampleBudget, err
 // All selection state (covered labels, degree vector, scratch) is local
 // to the call, so concurrent selections over the same immutable
 // collection are safe — the read side of the serve layer's epoch scheme.
-func SelectFromSample(c *rrset.Collection, idx *rrset.Index, n, k int) (*coverage.Result, error) {
+// parallelism sets the map-stage goroutine count (coverage.SelectKernel);
+// values below 2 select sequentially, and the seeds are identical at
+// every setting.
+func SelectFromSample(c *rrset.Collection, idx *rrset.Index, n, k, parallelism int) (*coverage.Result, error) {
 	if c == nil || idx == nil {
 		return nil, fmt.Errorf("core: select from nil sample")
 	}
@@ -68,6 +71,7 @@ func SelectFromSample(c *rrset.Collection, idx *rrset.Index, n, k int) (*coverag
 	if err != nil {
 		return nil, err
 	}
+	o.SetParallelism(parallelism)
 	return coverage.RunGreedy(o, k)
 }
 

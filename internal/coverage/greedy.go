@@ -14,7 +14,9 @@ package coverage
 
 import (
 	"fmt"
+	"slices"
 
+	"dimm/internal/bitset"
 	"dimm/internal/rrset"
 )
 
@@ -139,33 +141,38 @@ func RunGreedy(o Oracle, k int) (*Result, error) {
 
 // LocalOracle is the single-machine oracle over one RR-set collection.
 // It also serves as the worker-side state of the distributed oracle: the
-// cluster worker embeds one and ships its Select deltas to the master.
+// cluster worker runs the same SelectKernel and ships its deltas to the
+// master. Covered labels live in a bitset (1 bit per RR set, not the
+// byte of a []bool) and the map stage runs on the kernel, which splits
+// the covers list across SetParallelism goroutines.
 type LocalOracle struct {
 	c   *rrset.Collection
 	idx *rrset.Index
 	n   int
 
-	covered []bool
-	// decScratch/touched implement the map-stage hash map Δ_i of
-	// Algorithm 1 line 15 without per-call allocation.
-	decScratch []int32
-	touched    []uint32
+	covered *bitset.Bits
+	kern    *SelectKernel
 }
 
 // NewLocalOracle builds the oracle for n selectable items over c. The
-// index must have been built from c (idx.Count() == c.Count()).
+// index must have been built from c (idx.Count() == c.Count()). The map
+// stage is sequential until SetParallelism.
 func NewLocalOracle(c *rrset.Collection, idx *rrset.Index, n int) (*LocalOracle, error) {
 	if idx.Count() != c.Count() {
 		return nil, fmt.Errorf("coverage: index covers %d RR sets, collection has %d", idx.Count(), c.Count())
 	}
 	return &LocalOracle{
-		c:          c,
-		idx:        idx,
-		n:          n,
-		covered:    make([]bool, c.Count()),
-		decScratch: make([]int32, n),
+		c:       c,
+		idx:     idx,
+		n:       n,
+		covered: bitset.New(c.Count()),
+		kern:    NewSelectKernel(n, 1),
 	}, nil
 }
+
+// SetParallelism sets the number of map-stage goroutines for Select.
+// Output is bit-identical at every setting (see SelectKernel).
+func (o *LocalOracle) SetParallelism(p int) { o.kern.SetParallelism(p) }
 
 // NumItems implements Oracle.
 func (o *LocalOracle) NumItems() int { return o.n }
@@ -173,9 +180,7 @@ func (o *LocalOracle) NumItems() int { return o.n }
 // InitialDegrees implements Oracle: it relabels every RR set uncovered
 // and returns the per-node coverage counts.
 func (o *LocalOracle) InitialDegrees() ([]int64, error) {
-	for i := range o.covered {
-		o.covered[i] = false
-	}
+	o.covered.Reset(o.c.Count())
 	deg := make([]int64, o.n)
 	for v := 0; v < o.n; v++ {
 		deg[v] = int64(o.idx.Degree(uint32(v)))
@@ -188,37 +193,14 @@ func (o *LocalOracle) Select(u uint32) ([]Delta, error) {
 	if int(u) >= o.n {
 		return nil, fmt.Errorf("coverage: select of out-of-range item %d", u)
 	}
-	o.touched = o.touched[:0]
-	for _, j := range o.idx.Covers(u) {
-		if o.covered[j] {
-			continue
-		}
-		o.covered[j] = true
-		for _, w := range o.c.Set(int(j)) {
-			if o.decScratch[w] == 0 {
-				o.touched = append(o.touched, w)
-			}
-			o.decScratch[w]++
-		}
-	}
-	deltas := make([]Delta, len(o.touched))
-	for i, w := range o.touched {
-		deltas[i] = Delta{Node: w, Dec: o.decScratch[w]}
-		o.decScratch[w] = 0
-	}
-	return deltas, nil
+	o.kern.Select(o.c, o.idx, o.covered, u)
+	return o.kern.AppendDeltas(make([]Delta, 0, o.kern.TouchedLen())), nil
 }
 
 // CoveredCount returns how many RR sets are currently covered; after a
 // greedy run it equals the run's Coverage (used as a cross-check).
 func (o *LocalOracle) CoveredCount() int64 {
-	var c int64
-	for _, b := range o.covered {
-		if b {
-			c++
-		}
-	}
-	return c
+	return o.covered.Count()
 }
 
 // MultiOracle is the reference (in-process, sequential) element-distributed
@@ -229,6 +211,12 @@ func (o *LocalOracle) CoveredCount() int64 {
 type MultiOracle struct {
 	machines []*LocalOracle
 	n        int
+
+	// mergeDec/mergeTouched are the reduce-stage scratch: summing the
+	// per-machine deltas through a vector instead of a map keeps Select
+	// deterministic (Go map iteration order is randomized).
+	mergeDec     []int32
+	mergeTouched []uint32
 }
 
 // NewMultiOracle combines per-machine oracles; all must agree on NumItems.
@@ -242,7 +230,7 @@ func NewMultiOracle(machines []*LocalOracle) (*MultiOracle, error) {
 			return nil, fmt.Errorf("coverage: machine %d has %d items, machine 0 has %d", i, m.NumItems(), n)
 		}
 	}
-	return &MultiOracle{machines: machines, n: n}, nil
+	return &MultiOracle{machines: machines, n: n, mergeDec: make([]int32, n)}, nil
 }
 
 // NumItems implements Oracle.
@@ -264,20 +252,29 @@ func (m *MultiOracle) InitialDegrees() ([]int64, error) {
 }
 
 // Select implements Oracle (map on every machine, reduce at the caller).
+// The merged deltas are emitted in ascending node order, making the
+// reply a pure function of the machines' data — the determinism the
+// Oracle contract requires (a map-keyed merge would emit in randomized
+// iteration order).
 func (m *MultiOracle) Select(u uint32) ([]Delta, error) {
-	merged := make(map[uint32]int32)
+	m.mergeTouched = m.mergeTouched[:0]
 	for _, mach := range m.machines {
 		deltas, err := mach.Select(u)
 		if err != nil {
 			return nil, err
 		}
 		for _, d := range deltas {
-			merged[d.Node] += d.Dec
+			if m.mergeDec[d.Node] == 0 {
+				m.mergeTouched = append(m.mergeTouched, d.Node)
+			}
+			m.mergeDec[d.Node] += d.Dec
 		}
 	}
-	out := make([]Delta, 0, len(merged))
-	for v, dec := range merged {
-		out = append(out, Delta{Node: v, Dec: dec})
+	slices.Sort(m.mergeTouched)
+	out := make([]Delta, len(m.mergeTouched))
+	for i, v := range m.mergeTouched {
+		out[i] = Delta{Node: v, Dec: m.mergeDec[v]}
+		m.mergeDec[v] = 0
 	}
 	return out, nil
 }

@@ -1,0 +1,216 @@
+package coverage
+
+import (
+	"sync"
+
+	"dimm/internal/bitset"
+	"dimm/internal/rrset"
+)
+
+// minParallelCovers is the covers-list length below which the kernel
+// stays sequential: partitioning a short list across goroutines costs
+// more in spawn/merge overhead than the scan itself. Early seeds cover
+// thousands of RR sets (where parallelism pays); late seeds cover a
+// handful (where it cannot).
+const minParallelCovers = 256
+
+// SelectKernel is the map stage of Algorithm 1 (lines 14-21) factored
+// out of LocalOracle and cluster.Worker so both run the same code: mark
+// every still-uncovered RR set containing the new seed as covered and
+// accumulate, per node, how much its marginal coverage decreases.
+//
+// With parallelism P > 1 the covers list idx.Covers(u) is split into P
+// contiguous chunks processed by P goroutines. This is safe and exact:
+//
+//   - RR-set ids within a covers list are unique and ascending, and chunk
+//     boundaries are advanced to 64-bit word boundaries of the covered
+//     bitset, so no two goroutines ever write the same bitset word.
+//   - Each goroutine accumulates decrements into its own scratch; the
+//     shards are then merged in shard order, which reproduces exactly the
+//     sequential scan's first-encounter node order (a node's first
+//     encounter lands in exactly one chunk, and within a chunk shard
+//     order equals scan order). The emitted delta vector is therefore
+//     bit-identical to the sequential one — Lemma 2 (exact equivalence
+//     with centralized greedy) is preserved by construction, the same
+//     shard-order argument rrset.ShardedSampler uses for generation.
+type SelectKernel struct {
+	n   int // selectable-item space (size of the decrement scratch)
+	par int
+
+	// dec/touched implement the map-stage hash map Δ_i of Algorithm 1
+	// line 15 without per-call allocation; touched holds the nodes with
+	// nonzero dec in first-encounter order.
+	dec     []int32
+	touched []uint32
+
+	coversBuf []uint32 // flattens multi-segment covers lists, reused
+	bounds    []int    // chunk boundaries, reused
+
+	shardDec     [][]int32
+	shardTouched [][]uint32
+}
+
+// NewSelectKernel builds a kernel over an n-item space. parallelism <= 1
+// means sequential.
+func NewSelectKernel(n, parallelism int) *SelectKernel {
+	k := &SelectKernel{n: n, dec: make([]int32, n)}
+	k.SetParallelism(parallelism)
+	return k
+}
+
+// SetParallelism sets the number of map-stage goroutines (values below 1
+// clamp to 1, i.e. sequential).
+func (k *SelectKernel) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	k.par = p
+}
+
+// Parallelism returns the configured goroutine count.
+func (k *SelectKernel) Parallelism() int { return k.par }
+
+// NumItems returns the item-space size.
+func (k *SelectKernel) NumItems() int { return k.n }
+
+// Grow extends the item space to n (ingest can enlarge it); shrinking is
+// a no-op. Must not be called while a Select is in flight.
+func (k *SelectKernel) Grow(n int) {
+	if n <= k.n {
+		return
+	}
+	grown := make([]int32, n)
+	copy(grown, k.dec)
+	k.dec = grown
+	k.n = n
+	k.shardDec = nil // re-sized lazily on the next parallel Select
+	k.shardTouched = nil
+}
+
+// Select runs the map stage for seed u over collection c and its index,
+// marking newly covered RR sets in covered. Results accumulate in the
+// kernel until drained with Drain or AppendDeltas.
+func (k *SelectKernel) Select(c *rrset.Collection, idx *rrset.Index, covered *bitset.Bits, u uint32) {
+	covers := k.flatCovers(idx, u)
+	p := k.par
+	if pmax := len(covers) / minParallelCovers; p > pmax {
+		p = pmax
+	}
+	if p <= 1 {
+		k.touched = scanCoverChunk(c, covered, covers, k.dec, k.touched)
+		return
+	}
+	k.ensureShards(p)
+
+	// Chunk boundaries: start from an even split, then advance each
+	// boundary past any ids sharing a bitset word with the previous id.
+	// covers is ascending, so ids in one word are contiguous and the
+	// resulting chunks touch disjoint word ranges.
+	k.bounds = append(k.bounds[:0], 0)
+	for s := 1; s < p; s++ {
+		b := s * len(covers) / p
+		if prev := k.bounds[s-1]; b < prev {
+			b = prev
+		}
+		for b > 0 && b < len(covers) &&
+			bitset.WordIndex(int(covers[b])) == bitset.WordIndex(int(covers[b-1])) {
+			b++
+		}
+		k.bounds = append(k.bounds, b)
+	}
+	k.bounds = append(k.bounds, len(covers))
+
+	var wg sync.WaitGroup
+	for s := 1; s < p; s++ {
+		chunk := covers[k.bounds[s]:k.bounds[s+1]]
+		if len(chunk) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, chunk []uint32) {
+			defer wg.Done()
+			k.shardTouched[s] = scanCoverChunk(c, covered, chunk, k.shardDec[s], k.shardTouched[s])
+		}(s, chunk)
+	}
+	// Shard 0 runs on the calling goroutine.
+	k.shardTouched[0] = scanCoverChunk(c, covered, covers[:k.bounds[1]], k.shardDec[0], k.shardTouched[0])
+	wg.Wait()
+
+	// Merge in shard order: appending a node to touched on its first
+	// nonzero global decrement reproduces the sequential first-encounter
+	// order exactly (see the type comment).
+	for s := 0; s < p; s++ {
+		sd := k.shardDec[s]
+		for _, v := range k.shardTouched[s] {
+			if k.dec[v] == 0 {
+				k.touched = append(k.touched, v)
+			}
+			k.dec[v] += sd[v]
+			sd[v] = 0
+		}
+		k.shardTouched[s] = k.shardTouched[s][:0]
+	}
+}
+
+// flatCovers returns the ascending list of RR-set ids containing u. A
+// single-segment index aliases its storage (zero copy); multi-segment
+// indexes flatten into a reused buffer, in segment order — which is
+// globally ascending because segments span disjoint ascending id ranges.
+func (k *SelectKernel) flatCovers(idx *rrset.Index, u uint32) []uint32 {
+	if idx.NumSegments() == 1 {
+		return idx.SegCovers(0, u)
+	}
+	k.coversBuf = k.coversBuf[:0]
+	for si := 0; si < idx.NumSegments(); si++ {
+		k.coversBuf = append(k.coversBuf, idx.SegCovers(si, u)...)
+	}
+	return k.coversBuf
+}
+
+// ensureShards sizes the per-goroutine scratch for p shards.
+func (k *SelectKernel) ensureShards(p int) {
+	for len(k.shardDec) < p {
+		k.shardDec = append(k.shardDec, make([]int32, k.n))
+		k.shardTouched = append(k.shardTouched, nil)
+	}
+}
+
+// scanCoverChunk is the sequential inner loop shared by the one-goroutine
+// path and each parallel shard: for every still-uncovered RR set id in
+// covers, mark it covered and count its members into dec/touched.
+func scanCoverChunk(c *rrset.Collection, covered *bitset.Bits, covers []uint32, dec []int32, touched []uint32) []uint32 {
+	for _, j := range covers {
+		if covered.Get(int(j)) {
+			continue
+		}
+		covered.Set(int(j))
+		for _, v := range c.Set(int(j)) {
+			if dec[v] == 0 {
+				touched = append(touched, v)
+			}
+			dec[v]++
+		}
+	}
+	return touched
+}
+
+// TouchedLen returns how many nodes have accumulated decrements.
+func (k *SelectKernel) TouchedLen() int { return len(k.touched) }
+
+// Drain calls emit for every touched node in first-encounter order and
+// clears the scratch for the next Select.
+func (k *SelectKernel) Drain(emit func(node uint32, dec int32)) {
+	for _, v := range k.touched {
+		emit(v, k.dec[v])
+		k.dec[v] = 0
+	}
+	k.touched = k.touched[:0]
+}
+
+// AppendDeltas drains the accumulated decrements into out as Deltas.
+func (k *SelectKernel) AppendDeltas(out []Delta) []Delta {
+	k.Drain(func(node uint32, dec int32) {
+		out = append(out, Delta{Node: node, Dec: dec})
+	})
+	return out
+}

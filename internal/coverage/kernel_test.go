@@ -1,0 +1,238 @@
+package coverage
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"dimm/internal/bitset"
+	"dimm/internal/rrset"
+	"dimm/internal/xrand"
+)
+
+// kernelSample builds a random collection of m RR sets of avgSize members
+// drawn from n nodes, plus its inverted index. Sizes are chosen so node
+// degrees comfortably exceed minParallelCovers at the parallelism levels
+// under test.
+func kernelSample(t testing.TB, seed uint64, n, m, avgSize int) (*rrset.Collection, *rrset.Index) {
+	t.Helper()
+	r := xrand.New(seed)
+	c := rrset.NewCollection(m)
+	members := make([]uint32, 0, 2*avgSize)
+	for i := 0; i < m; i++ {
+		sz := 1 + r.Intn(2*avgSize-1)
+		members = members[:0]
+		for len(members) < sz {
+			v := uint32(r.Intn(n))
+			if !slices.Contains(members, v) {
+				members = append(members, v)
+			}
+		}
+		c.Append(members, 0)
+	}
+	idx, err := rrset.BuildIndex(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, idx
+}
+
+// kernelTrace drives a SelectKernel through the given seed sequence and
+// records everything observable: the drained delta slice after every
+// seed and the covered count after every seed.
+type kernelTrace struct {
+	Deltas  [][]Delta
+	Covered []int64
+}
+
+func traceKernel(c *rrset.Collection, idx *rrset.Index, n int, seeds []uint32, parallelism int) kernelTrace {
+	kern := NewSelectKernel(n, parallelism)
+	covered := bitset.New(c.Count())
+	var tr kernelTrace
+	for _, u := range seeds {
+		kern.Select(c, idx, covered, u)
+		tr.Deltas = append(tr.Deltas, kern.AppendDeltas(nil))
+		tr.Covered = append(tr.Covered, covered.Count())
+	}
+	return tr
+}
+
+// TestParallelSelectBitIdentical: the parallel map stage must produce
+// delta vectors bit-identical to the sequential scan — same nodes, same
+// decrements, same first-encounter order — at every parallelism level.
+// Run with -race this also exercises the disjoint-word-range safety
+// argument of the chunked bitset writes.
+func TestParallelSelectBitIdentical(t *testing.T) {
+	c, idx := kernelSample(t, 0xC0FFEE, 64, 40000, 4)
+	seeds := make([]uint32, 64)
+	for i := range seeds {
+		seeds[i] = uint32(i)
+	}
+	base := traceKernel(c, idx, 64, seeds, 1)
+	if got := base.Covered[len(base.Covered)-1]; got != int64(c.Count()) {
+		t.Fatalf("selecting every node covered %d of %d RR sets", got, c.Count())
+	}
+	for _, p := range []int{2, 4, 8} {
+		got := traceKernel(c, idx, 64, seeds, p)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("P=%d trace diverges from sequential", p)
+		}
+	}
+}
+
+// TestParallelSelectMultiSegment exercises flatCovers' flattening path:
+// an incrementally grown index has several segments whose covers lists
+// must be concatenated (in globally ascending id order) before chunking.
+func TestParallelSelectMultiSegment(t *testing.T) {
+	c, idx := kernelSample(t, 0xBEEF, 48, 20000, 4)
+	r := xrand.New(7)
+	members := make([]uint32, 0, 8)
+	for grow := 0; grow < 3; grow++ {
+		from := c.Count()
+		for i := 0; i < 5000; i++ {
+			sz := 1 + r.Intn(7)
+			members = members[:0]
+			for len(members) < sz {
+				v := uint32(r.Intn(48))
+				if !slices.Contains(members, v) {
+					members = append(members, v)
+				}
+			}
+			c.Append(members, 0)
+		}
+		if err := idx.AppendFrom(c, from); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.NumSegments() < 2 {
+		t.Fatalf("test wants a multi-segment index, got %d segment(s)", idx.NumSegments())
+	}
+	seeds := []uint32{3, 1, 4, 1, 5, 9, 2, 6, 0, 7}
+	base := traceKernel(c, idx, 48, seeds, 1)
+	for _, p := range []int{2, 4} {
+		if got := traceKernel(c, idx, 48, seeds, p); !reflect.DeepEqual(base, got) {
+			t.Fatalf("P=%d multi-segment trace diverges from sequential", p)
+		}
+	}
+}
+
+// TestParallelGreedyEndToEnd: a full lazy-greedy run through LocalOracle
+// must return identical seeds, marginals, and covered counts at every
+// parallelism level (the ISSUE acceptance bar: byte-identical seed sets).
+func TestParallelGreedyEndToEnd(t *testing.T) {
+	c, idx := kernelSample(t, 0xD1DD, 64, 30000, 4)
+	var base *Result
+	var baseCovered int64
+	for _, p := range []int{1, 2, 4} {
+		o, err := NewLocalOracle(c, idx, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.SetParallelism(p)
+		res, err := RunGreedy(o, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 1 {
+			base, baseCovered = res, o.CoveredCount()
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("P=%d greedy result diverges from sequential:\n  P=1: %+v\n  P=%d: %+v", p, base, p, res)
+		}
+		if got := o.CoveredCount(); got != baseCovered {
+			t.Fatalf("P=%d covered count %d, sequential %d", p, got, baseCovered)
+		}
+	}
+}
+
+// TestKernelGrow: growing the item space mid-stream (the ingest path)
+// must preserve accumulated scratch and keep parallel selects exact.
+func TestKernelGrow(t *testing.T) {
+	c, idx := kernelSample(t, 0xFEED, 32, 12000, 4)
+	kern := NewSelectKernel(16, 4) // deliberately undersized
+	kern.Grow(32)
+	if kern.NumItems() != 32 {
+		t.Fatalf("Grow(32) left NumItems %d", kern.NumItems())
+	}
+	kern.Grow(8) // shrink is a no-op
+	if kern.NumItems() != 32 {
+		t.Fatalf("Grow(8) shrank NumItems to %d", kern.NumItems())
+	}
+	covered := bitset.New(c.Count())
+	kern.Select(c, idx, covered, 5)
+	got := kern.AppendDeltas(nil)
+	want := traceKernel(c, idx, 32, []uint32{5}, 1).Deltas[0]
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-Grow select diverges: want %d deltas, got %d", len(want), len(got))
+	}
+}
+
+// TestMultiOracleDeterministic: the reference reduce stage must emit
+// merged deltas in ascending node order and produce identical traces on
+// identical data — the determinism the Oracle contract requires.
+func TestMultiOracleDeterministic(t *testing.T) {
+	build := func() *MultiOracle {
+		machines := make([]*LocalOracle, 3)
+		for i := range machines {
+			c, idx := kernelSample(t, 0xAB+uint64(i), 40, 3000, 3)
+			o, err := NewLocalOracle(c, idx, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines[i] = o
+		}
+		m, err := NewMultiOracle(machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.InitialDegrees(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	for _, u := range []uint32{7, 3, 7, 19, 0, 39, 11} {
+		da, err := a.Select(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.IsSortedFunc(da, func(x, y Delta) int {
+			if x.Node < y.Node {
+				return -1
+			}
+			return 1
+		}) {
+			t.Fatalf("Select(%d) emitted out of ascending node order: %v", u, da)
+		}
+		db, err := b.Select(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("Select(%d) differs across identical oracles", u)
+		}
+	}
+}
+
+// BenchmarkSelectParallel measures the map-stage kernel at several
+// parallelism levels over a fresh covered bitset per iteration; the CI
+// bench smoke runs it once per level to keep the path compiling and
+// racing.
+func BenchmarkSelectParallel(b *testing.B) {
+	c, idx := kernelSample(b, 0x5EED, 64, 40000, 4)
+	for _, p := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "P1", 2: "P2", 4: "P4"}[p], func(b *testing.B) {
+			kern := NewSelectKernel(64, p)
+			covered := bitset.New(c.Count())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				covered.Reset(c.Count())
+				for u := uint32(0); u < 8; u++ {
+					kern.Select(c, idx, covered, u)
+					kern.Drain(func(uint32, int32) {})
+				}
+			}
+		})
+	}
+}

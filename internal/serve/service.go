@@ -157,6 +157,7 @@ func badQueryf(format string, args ...any) error {
 type Service struct {
 	cfg    Config
 	n      int
+	par    int // resolved worker parallelism, reused by query-time selection
 	budget core.SampleBudget
 
 	// clusterMu serializes all RPCs on the warm clusters (the cluster
@@ -238,6 +239,7 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("serve: C1 and C2 must be supplied together")
 	}
 	par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
+	s.par = par
 
 	// Open the durable store (and restore from it) before the clusters
 	// exist: a restore determines the stream salt the workers are seeded
@@ -394,7 +396,7 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 		s.mu.RUnlock()
 		return &Answer{Epoch: epoch}, false, nil
 	}
-	sel, err := core.SelectFromSample(s.r1, s.idx1, s.n, k)
+	sel, err := core.SelectFromSample(s.r1, s.idx1, s.n, k, s.par)
 	if err != nil {
 		s.mu.RUnlock()
 		return nil, false, err
@@ -666,10 +668,10 @@ func (s *Service) Stats() Stats {
 		CheckpointBytes:   s.stats.ckptBytes.Load(),
 		CheckpointErrors:  s.stats.ckptErrors.Load(),
 		CheckpointSeconds: float64(s.stats.ckptNanos.Load()) / 1e9,
-		InFlight:    int64(len(s.sem)),
-		Rejected:    s.http.rejected.Load(),
-		Uptime:      time.Since(s.http.started).Seconds(),
-		Endpoint:    s.http.snapshot(),
+		InFlight:          int64(len(s.sem)),
+		Rejected:          s.http.rejected.Load(),
+		Uptime:            time.Since(s.http.started).Seconds(),
+		Endpoint:          s.http.snapshot(),
 	}
 	return st
 }

@@ -137,7 +137,7 @@ func (e *SegmentChecksumError) Error() string {
 // SegmentTruncatedError reports a segment file whose size differs from
 // what the manifest recorded — an interrupted or clipped write.
 type SegmentTruncatedError struct {
-	Path               string
+	Path                string
 	WantBytes, GotBytes int64
 }
 
@@ -189,8 +189,8 @@ type EpochRecord struct {
 // manifest is the JSON document published atomically after every
 // checkpoint.
 type manifest struct {
-	Version     int           `json:"version"`
-	Fingerprint Fingerprint   `json:"fingerprint"`
+	Version     int         `json:"version"`
+	Fingerprint Fingerprint `json:"fingerprint"`
 	// NextSeg numbers segment files monotonically so compaction can
 	// never collide with a later checkpoint's name.
 	NextSeg int           `json:"next_seg"`
