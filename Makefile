@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen bench-select serve bench-serve bench-store
+.PHONY: build test race bench rrgen bench-select serve bench-serve bench-store bench-fault
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,9 @@ bench-serve:
 # cold-resample wall-clock ratio on this box).
 bench-store:
 	$(GO) run ./cmd/experiments -run store
+
+# Regenerates BENCH_FAULT.json (query-service latency through a worker
+# kill: healthy p50/p99, failover recovery time vs clean growth, and
+# post-recovery p50/p99 on this box).
+bench-fault:
+	$(GO) run ./cmd/experiments -run fault

@@ -17,6 +17,15 @@
 // = GOMAXPROCS by default), so reproducible multi-host runs should pin
 // the same -parallelism on every worker; -parallelism 1 reproduces the
 // sequential sampler exactly.
+//
+// Restart contract: every accepted connection gets a brand-new empty
+// worker, so a bounced dimmd rejoins with no state of its own. Masters
+// running the fault-tolerance layer (dimm/dimmsrv -retries) rely on
+// exactly that: on reconnect they replay the worker's journaled request
+// history, which — because the worker's streams are a pure function of
+// (-seed, -seed-index, -parallelism) — rebuilds its RR collection bit
+// for bit. Restart dimmd with the same flags it was started with, or
+// the replayed state (and the run's reproducibility) is silently wrong.
 package main
 
 import (

@@ -81,6 +81,10 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "concurrently admitted query requests; excess get 429")
 		warm        = flag.Bool("warm", false, "grow the resident sample for the hardest admissible query before accepting traffic")
 		callTimeout = flag.Duration("call-timeout", 0, "per-call deadline for TCP worker requests (0 = none)")
+
+		retries      = flag.Int("retries", cluster.DefaultRetries, "respawn/redial attempts per worker failure before quarantining it")
+		retryBackoff = flag.Duration("retry-backoff", cluster.DefaultRetryBackoff, "base backoff between worker retry attempts (exponential, jittered)")
+
 		grace       = flag.Duration("shutdown-grace", 10*time.Second, "on SIGINT/SIGTERM, deadline for in-flight HTTP requests to finish")
 
 		checkpointDir = flag.String("checkpoint-dir", "", "directory for the durable RR-sample store; each growth epoch is checkpointed there")
@@ -113,12 +117,15 @@ func main() {
 		Delta:         *delta,
 		CacheSize:     *cacheSize,
 		MaxInFlight:   *maxInFlight,
+		Retries:       *retries,
+		RetryBackoff:  *retryBackoff,
 		CheckpointDir: *checkpointDir,
 		Restore:       *restore,
 		WeightTag:     *weights,
 	}
 	if *workers != "" {
-		c1, c2, err := dialWorkerHalves(*workers, g.NumNodes(), *callTimeout)
+		pol := cluster.RetryPolicy{Retries: *retries, Backoff: *retryBackoff}
+		c1, c2, err := dialWorkerHalves(*workers, g.NumNodes(), *callTimeout, *seed, pol)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -185,15 +192,26 @@ func parOpt(p int) int {
 }
 
 // dialWorkerHalves splits the address list into the R1 and R2 clusters.
-func dialWorkerHalves(list string, n int, callTimeout time.Duration) (*cluster.Cluster, *cluster.Cluster, error) {
+// Each connection is wrapped in a RetryConn, and each cluster gets a
+// recovery layer whose Respawn redials the worker's address: a dimmd
+// restart (Serve hands every accepted connection a fresh worker) is
+// re-seeded by the cluster's replay journal, so a bounced worker rejoins
+// with bit-identical state instead of forcing a cold start.
+func dialWorkerHalves(list string, n int, callTimeout time.Duration, seed uint64, pol cluster.RetryPolicy) (*cluster.Cluster, *cluster.Cluster, error) {
 	addrs := strings.Split(list, ",")
 	if len(addrs) < 2 || len(addrs)%2 != 0 {
 		return nil, nil, fmt.Errorf("need an even number of worker addresses (R1 half + R2 half), got %d", len(addrs))
 	}
-	dial := func(addrs []string) (*cluster.Cluster, error) {
+	dial := func(addrs []string, salt uint64) (*cluster.Cluster, error) {
+		dialOne := func(addr string) (cluster.Conn, error) {
+			addr = strings.TrimSpace(addr)
+			return cluster.NewRetryConn(addr, func() (cluster.Conn, error) {
+				return cluster.DialWorkerTimeout(addr, callTimeout)
+			}, pol)
+		}
 		conns := make([]cluster.Conn, len(addrs))
 		for i, addr := range addrs {
-			c, err := cluster.DialWorkerTimeout(strings.TrimSpace(addr), callTimeout)
+			c, err := dialOne(addr)
 			if err != nil {
 				for _, d := range conns[:i] {
 					d.Close()
@@ -202,14 +220,24 @@ func dialWorkerHalves(list string, n int, callTimeout time.Duration) (*cluster.C
 			}
 			conns[i] = c
 		}
-		return cluster.New(conns, n)
+		cl, err := cluster.New(conns, n)
+		if err != nil {
+			return nil, err
+		}
+		_ = cl.EnableRecovery(cluster.Recovery{
+			Respawn: func(i int) (cluster.Conn, error) { return dialOne(addrs[i]) },
+			Retries: pol.Retries,
+			Backoff: pol.Backoff,
+			Salt:    seed ^ salt,
+		})
+		return cl, nil
 	}
 	half := len(addrs) / 2
-	c1, err := dial(addrs[:half])
+	c1, err := dial(addrs[:half], 0x0111)
 	if err != nil {
 		return nil, nil, err
 	}
-	c2, err := dial(addrs[half:])
+	c2, err := dial(addrs[half:], 0x0222)
 	if err != nil {
 		c1.Close()
 		return nil, nil, err

@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,all (rrgen, select, serve and store only run when named)")
+		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,all (rrgen, select, serve, store and fault only run when named)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k         = flag.Int("k", 50, "seed set size")
 		eps       = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -51,6 +51,7 @@ func main() {
 		rrgenOut  = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
 		selectOut = flag.String("select-out", "BENCH_SELECT.json", "JSON output path for -run select (empty = print only)")
 		serveOut  = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
+		faultOut  = flag.String("fault-out", "BENCH_FAULT.json", "JSON output path for -run fault (empty = print only)")
 		storeOut  = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
 	)
 	flag.Parse()
@@ -125,8 +126,8 @@ func main() {
 	step("fig8", func() error { _, err := cfg.Fig8(); return err })
 	step("fig9", func() error { _, err := cfg.Fig9(); return err })
 	step("fig10", func() error { _, err := cfg.Fig10(); return err })
-	// rrgen, select, serve and store write BENCH_*.json, so they only run
-	// when named.
+	// rrgen, select, serve, store and fault write BENCH_*.json, so they
+	// only run when named.
 	if want["rrgen"] {
 		if _, err := cfg.RRGen(*rrgenOut); err != nil {
 			log.Fatalf("rrgen: %v", err)
@@ -145,6 +146,11 @@ func main() {
 	if want["store"] {
 		if _, err := cfg.Store(*storeOut); err != nil {
 			log.Fatalf("store: %v", err)
+		}
+	}
+	if want["fault"] {
+		if _, err := cfg.Fault(*faultOut); err != nil {
+			log.Fatalf("fault: %v", err)
 		}
 	}
 }

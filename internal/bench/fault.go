@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"dimm/internal/cluster"
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+	"dimm/internal/serve"
+)
+
+// FaultOptions configures the fault-injection benchmark: a resident
+// query service whose R1 cluster loses a worker mid-run, measured
+// before, during and after the failover.
+type FaultOptions struct {
+	Nodes     int     // synthetic graph size (default 20_000)
+	AvgDegree float64 // synthetic graph average degree (default 10)
+	Model     diffusion.Model
+	Seed      uint64
+
+	Machines int     // workers per RR collection (default 2)
+	KMax     int     // service admission cap (default 20)
+	EpsLoose float64 // warm/steady-state epsilon (default 0.5)
+	EpsTight float64 // post-kill epsilon forcing growth (default 0.3)
+
+	Concurrency int // client fan-out for the steady phases (default 4)
+	Requests    int // requests per steady phase (default 200)
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 20_000
+	}
+	if o.AvgDegree == 0 {
+		o.AvgDegree = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 20220501
+	}
+	if o.Machines == 0 {
+		o.Machines = 2
+	}
+	if o.KMax == 0 {
+		o.KMax = 20
+	}
+	if o.EpsLoose == 0 {
+		o.EpsLoose = 0.5
+	}
+	if o.EpsTight == 0 {
+		o.EpsTight = 0.3
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 4
+	}
+	if o.Requests == 0 {
+		o.Requests = 200
+	}
+	return o
+}
+
+// FaultReport is the machine-readable record written to BENCH_FAULT.json.
+type FaultReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Nodes      int     `json:"nodes"`
+	Edges      int64   `json:"edges"`
+	Model      string  `json:"model"`
+	Seed       uint64  `json:"seed"`
+	Machines   int     `json:"machines"`
+	KMax       int     `json:"k_max"`
+	EpsLoose   float64 `json:"eps_loose"`
+	EpsTight   float64 `json:"eps_tight"`
+
+	// Steady-state latency before the kill (queries at EpsLoose, all
+	// served from the resident sample) and after recovery (EpsTight).
+	Healthy  ServeLevelResult `json:"healthy"`
+	Degraded ServeLevelResult `json:"post_recovery"`
+
+	// RecoverySeconds is the wall time of the first query after the kill:
+	// it forces a growth round, hits the dead worker, and completes only
+	// once the failover (respawn + journal replay + re-issue) is through.
+	// CleanGrowSeconds is the identical growth query on an unfaulted twin
+	// service, so the difference is the failover's own cost.
+	RecoverySeconds  float64 `json:"recovery_seconds"`
+	CleanGrowSeconds float64 `json:"clean_grow_seconds"`
+
+	// The service's own post-run accounting: per-worker health of the
+	// faulted R1 cluster and how many requests were refused 503 (zero
+	// when the failover absorbed the kill).
+	R1Workers []cluster.WorkerHealth `json:"r1_workers"`
+	Refused   int64                  `json:"refused_503"`
+}
+
+// faultService builds a resident service over explicit clusters, with
+// R1's worker 0 wrapped in the returned FaultConn and both clusters able
+// to respawn workers from their configs (the replay-failover tier).
+// Seeds mirror serve.New's in-process split, so a twin built the same
+// way answers identically.
+func faultService(g *graph.Graph, opt FaultOptions, faulty bool) (*serve.Service, *cluster.FaultConn, error) {
+	var fc *cluster.FaultConn
+	mk := func(tag uint64, wrap bool) (*cluster.Cluster, error) {
+		cfgs := make([]cluster.WorkerConfig, opt.Machines)
+		conns := make([]cluster.Conn, opt.Machines)
+		for i := range cfgs {
+			cfgs[i] = cluster.WorkerConfig{
+				Graph: g, Model: opt.Model,
+				Seed:        cluster.DeriveSeed(opt.Seed^tag, i),
+				Parallelism: 1,
+			}
+			w, err := cluster.NewWorker(cfgs[i])
+			if err != nil {
+				return nil, err
+			}
+			conns[i] = cluster.NewLocalConn(w)
+			if wrap && i == 0 {
+				fc = cluster.NewFaultConn(conns[i])
+				conns[i] = fc
+			}
+		}
+		cl, err := cluster.New(conns, g.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.EnableRecovery(cluster.Recovery{
+			Respawn: func(i int) (cluster.Conn, error) {
+				w, err := cluster.NewWorker(cfgs[i])
+				if err != nil {
+					return nil, err
+				}
+				return cluster.NewLocalConn(w), nil
+			},
+			Backoff: time.Millisecond,
+			Salt:    opt.Seed ^ tag,
+		}); err != nil {
+			return nil, err
+		}
+		return cl, nil
+	}
+	c1, err := mk(0x0111, faulty)
+	if err != nil {
+		return nil, nil, err
+	}
+	c2, err := mk(0x0222, false)
+	if err != nil {
+		c1.Close()
+		return nil, nil, err
+	}
+	svc, err := serve.New(serve.Config{
+		Graph: g, Model: opt.Model, Seed: opt.Seed,
+		KMax: opt.KMax, EpsFloor: opt.EpsTight,
+		MaxInFlight: opt.Concurrency + 1,
+		C1:          c1, C2: c2,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, fc, nil
+}
+
+// RunServeFaultBench measures the resident query service through a
+// worker kill: steady-state latency at a loose epsilon, then one worker
+// of the R1 cluster dies and the next (tighter) query forces a growth
+// round through the failover path, then steady state again on the
+// recovered cluster. A twin service without the fault calibrates how
+// much of the recovery time is the growth round itself.
+func RunServeFaultBench(opt FaultOptions) (*FaultReport, error) {
+	opt = opt.withDefaults()
+	g, err := graph.GenPreferential(graph.GenConfig{
+		Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed, UniformAttach: 0.15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0); err != nil {
+		return nil, err
+	}
+
+	svc, fc, err := faultService(g, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	twin, _, err := faultService(g, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	defer twin.Close()
+
+	// Warm both at the loose epsilon: resident sample present, the tight
+	// query later needs one more growth round.
+	if _, err := svc.Query(opt.KMax, opt.EpsLoose); err != nil {
+		return nil, err
+	}
+	if _, err := twin.Query(opt.KMax, opt.EpsLoose); err != nil {
+		return nil, err
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(lis) }()
+	defer httpSrv.Close()
+	base := "http://" + lis.Addr().String()
+
+	rep := &FaultReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Model:      opt.Model.String(),
+		Seed:       opt.Seed,
+		Machines:   opt.Machines,
+		KMax:       opt.KMax,
+		EpsLoose:   opt.EpsLoose,
+		EpsTight:   opt.EpsTight,
+	}
+
+	healthy, err := driveLevel(base, svc, opt.Concurrency, opt.Requests, opt.KMax, opt.EpsLoose)
+	if err != nil {
+		return nil, err
+	}
+	rep.Healthy = *healthy
+
+	// Kill R1's worker 0: its next call — the growth round the tight
+	// query triggers — fails and must fail over.
+	fc.KillAtCall(fc.Calls() + 1)
+	t0 := time.Now()
+	if _, err := svc.Query(opt.KMax, opt.EpsTight); err != nil {
+		return nil, fmt.Errorf("bench: query through worker kill: %w", err)
+	}
+	rep.RecoverySeconds = time.Since(t0).Seconds()
+	if fc.Faults() == 0 {
+		return nil, fmt.Errorf("bench: the kill never fired (resident sample absorbed the tight query)")
+	}
+	t0 = time.Now()
+	if _, err := twin.Query(opt.KMax, opt.EpsTight); err != nil {
+		return nil, err
+	}
+	rep.CleanGrowSeconds = time.Since(t0).Seconds()
+
+	degraded, err := driveLevel(base, svc, opt.Concurrency, opt.Requests, opt.KMax, opt.EpsTight)
+	if err != nil {
+		return nil, err
+	}
+	rep.Degraded = *degraded
+
+	st := svc.Stats()
+	rep.R1Workers = st.R1Workers
+	rep.Refused = st.Degraded
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *FaultReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Fault runs the fault-injection benchmark at the harness's seed, prints
+// a summary, and — when jsonPath is non-empty — records the report
+// machine-readably (BENCH_FAULT.json).
+func (c Config) Fault(jsonPath string) (*FaultReport, error) {
+	rep, err := RunServeFaultBench(FaultOptions{Model: diffusion.IC, Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	c.printf("\n== fault injection (kill 1 of %d R1 workers mid-growth, %d nodes, GOMAXPROCS=%d) ==\n",
+		rep.Machines, rep.Nodes, rep.GOMAXPROCS)
+	c.printf("healthy (eps=%.2f):       p50 %.2fms p99 %.2fms over %d reqs\n",
+		rep.EpsLoose, rep.Healthy.P50Ms, rep.Healthy.P99Ms, rep.Healthy.Requests)
+	c.printf("kill + grow (eps=%.2f):   recovered in %.2fs (clean growth: %.2fs)\n",
+		rep.EpsTight, rep.RecoverySeconds, rep.CleanGrowSeconds)
+	c.printf("post-recovery:            p50 %.2fms p99 %.2fms over %d reqs, %d refused\n",
+		rep.Degraded.P50Ms, rep.Degraded.P99Ms, rep.Degraded.Requests, rep.Refused)
+	for _, h := range rep.R1Workers {
+		c.printf("r1 worker %d: up=%v retries=%d failovers=%d\n", h.Worker, h.Up, h.Retries, h.Failovers)
+	}
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", jsonPath, err)
+		}
+		c.printf("wrote %s\n", jsonPath)
+	}
+	return rep, nil
+}

@@ -153,6 +153,27 @@ type Cluster struct {
 	roundRecv int64
 
 	met Metrics
+
+	// Fault-tolerance state (nil/empty until EnableRecovery; see
+	// recovery.go). healthMu guards the fields Health() reads while an
+	// operation is in flight on the master goroutine: conns entries,
+	// dead flags and fault counters.
+	rec        *Recovery
+	healthMu   sync.Mutex
+	dead       []bool
+	logs       []workerLog
+	failovers  []int64
+	ctlRetries []int64
+	lastErrs   []string
+	// selecting/selSeeds mirror the cluster-wide selection state so a
+	// replacement worker can be fast-forwarded into a greedy run.
+	selecting bool
+	selSeeds  []uint32
+	failEpoch uint64
+	// retiredSent/retiredRecv accumulate byte counters of replaced or
+	// quarantined connections so Metrics stays cumulative across swaps.
+	retiredSent int64
+	retiredRecv int64
 }
 
 // New wraps existing worker connections. numItems is the selectable-item
@@ -217,13 +238,19 @@ func (c *Cluster) Metrics() Metrics {
 		m.BytesSent += s
 		m.BytesReceived += r
 	}
+	m.BytesSent += c.retiredSent
+	m.BytesReceived += c.retiredRecv
 	return m
 }
 
 // Close shuts down all worker connections, keeping the first error.
+// Quarantined workers' connections were already closed at quarantine.
 func (c *Cluster) Close() error {
 	var first error
-	for _, conn := range c.conns {
+	for i, conn := range c.conns {
+		if c.rec != nil && c.dead[i] {
+			continue
+		}
 		if err := conn.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -232,13 +259,28 @@ func (c *Cluster) Close() error {
 }
 
 // broadcast sends reqs[i] to worker i concurrently and returns all
-// responses plus the round's wall time. A nil reqs[i] skips worker i.
-func (c *Cluster) broadcast(reqs [][]byte) ([][]byte, time.Duration, error) {
+// responses plus the round's wall time. A nil reqs[i] skips worker i, as
+// does a quarantined worker (its resps entry stays nil).
+//
+// Failure semantics depend on EnableRecovery. Without it, the historic
+// contract holds: the first worker error aborts the round. With it, a
+// failed call triggers the failover ladder — respawn a replacement,
+// resync it from the replay journal, re-issue the call — and a worker
+// that stays unreachable through the retry budget is quarantined and
+// returned in downs; the caller decides how to repair (recovery.go).
+func (c *Cluster) broadcast(reqs [][]byte) (resps [][]byte, wall time.Duration, downs []int, err error) {
 	if len(reqs) != len(c.conns) {
-		return nil, 0, fmt.Errorf("cluster: %d requests for %d workers", len(reqs), len(c.conns))
+		return nil, 0, nil, fmt.Errorf("cluster: %d requests for %d workers", len(reqs), len(c.conns))
+	}
+	if c.rec != nil {
+		for i := range reqs {
+			if c.dead[i] {
+				reqs[i] = nil
+			}
+		}
 	}
 	start := time.Now()
-	resps := make([][]byte, len(c.conns))
+	resps = make([][]byte, len(c.conns))
 	errs := make([]error, len(c.conns))
 	if c.sequential {
 		for i := range c.conns {
@@ -261,11 +303,33 @@ func (c *Cluster) broadcast(reqs [][]byte) ([][]byte, time.Duration, error) {
 		}
 		wg.Wait()
 	}
-	wall := time.Since(start)
-	for i, err := range errs {
-		if err != nil {
-			return nil, wall, fmt.Errorf("cluster: worker %d: %w", i, err)
+	wall = time.Since(start)
+	// Callers skip nil resps entries as "worker not called this round";
+	// a worker that returned a nil frame without an error must stay
+	// distinguishable (it is a protocol violation the decoder flags).
+	for i := range resps {
+		if reqs[i] != nil && errs[i] == nil && resps[i] == nil {
+			resps[i] = []byte{}
 		}
+	}
+	for i, callErr := range errs {
+		if callErr == nil {
+			continue
+		}
+		if c.rec == nil {
+			return nil, wall, nil, fmt.Errorf("cluster: worker %d: %w", i, callErr)
+		}
+		resp, ferr := c.failover(i, reqs[i], callErr)
+		if ferr != nil {
+			c.quarantine(i, ferr)
+			reqs[i] = nil // drop from the byte accounting below
+			downs = append(downs, i)
+			continue
+		}
+		resps[i] = resp
+	}
+	if c.rec != nil && len(c.liveIndexes()) == 0 {
+		return nil, wall, downs, fmt.Errorf("cluster: %w", ErrNoLiveWorkers)
 	}
 	c.roundSent, c.roundRecv = 0, 0
 	for i := range reqs {
@@ -289,7 +353,7 @@ func (c *Cluster) broadcast(reqs [][]byte) ([][]byte, time.Duration, error) {
 		}
 		c.met.Comm += extra
 	}
-	return resps, wall, nil
+	return resps, wall, downs, nil
 }
 
 // same builds an identical request for every worker.
@@ -302,31 +366,44 @@ func (c *Cluster) same(req []byte) [][]byte {
 }
 
 // Generate asks the cluster for addTotal more RR sets, split evenly
-// (worker i gets an extra one while distributing the remainder), then
-// pulls the new sets' coverage into the baseline degree vector. It
-// returns aggregate statistics over everything generated so far.
+// across live workers (worker i gets an extra one while distributing the
+// remainder), then pulls the new sets' coverage into the baseline degree
+// vector. It returns aggregate statistics over everything generated so
+// far. A worker lost mid-round is replaced via the failover ladder; if
+// it stays down, its quota (in-flight and historic-unfetched) is
+// regenerated on survivors under fresh epoch-salted streams, so the
+// aggregate count always comes out as requested.
 func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
 	if addTotal < 0 {
 		return GenerateStats{}, fmt.Errorf("cluster: negative generation count %d", addTotal)
 	}
-	l := int64(len(c.conns))
+	live := c.liveIndexes()
+	if len(live) == 0 {
+		return GenerateStats{}, fmt.Errorf("cluster: %w", ErrNoLiveWorkers)
+	}
+	l := int64(len(live))
 	per := addTotal / l
 	extra := addTotal % l
 	reqs := make([][]byte, len(c.conns))
-	for i := range reqs {
+	counts := make([]int64, len(c.conns))
+	for idx, i := range live {
 		count := per
-		if int64(i) < extra {
+		if int64(idx) < extra {
 			count++
 		}
+		counts[i] = count
 		reqs[i] = encodeGenerateReq(count)
 	}
-	resps, wall, err := c.broadcast(reqs)
+	resps, wall, downs, err := c.broadcast(reqs)
 	if err != nil {
 		return GenerateStats{}, err
 	}
 	var agg GenerateStats
 	handlers := make([]time.Duration, len(resps))
 	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
 		nanos, s, err := decodeStatsResp(resp)
 		if err != nil {
 			return GenerateStats{}, fmt.Errorf("cluster: worker %d: %w", i, err)
@@ -335,22 +412,47 @@ func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
 		agg.Count += s.Count
 		agg.TotalSize += s.TotalSize
 		agg.EdgesExamined += s.EdgesExamined
+		if counts[i] > 0 {
+			c.record(i, reqs[i], counts[i], 0)
+		}
 	}
 	c.account("gen", wall, handlers)
+	if len(downs) > 0 {
+		extraLost := make(map[int]int64, len(downs))
+		for _, d := range downs {
+			extraLost[d] = counts[d]
+		}
+		if err := c.repair(downs, extraLost); err != nil {
+			return GenerateStats{}, err
+		}
+		// repair rebuilt the baseline (so no syncDegrees) and changed
+		// the per-worker counts; re-aggregate for an accurate total.
+		return c.Stats()
+	}
 	return agg, c.syncDegrees()
 }
 
 // syncDegrees pulls each worker's coverage deltas for RR sets generated
 // since the previous sync and folds them into the baseline Δ vector.
 func (c *Cluster) syncDegrees() error {
-	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgDegreeDelta)))
+	resps, wall, downs, err := c.broadcast(c.same(encodeSimpleReq(msgDegreeDelta)))
 	if err != nil {
 		return err
+	}
+	if len(downs) > 0 {
+		// A quarantine invalidates the baseline anyway (the dead
+		// worker's synced coverage must be withdrawn); repair rebuilds
+		// it from zero, so folding this round's live replies first
+		// would only be overwritten.
+		return c.repair(downs, nil)
 	}
 	handlers := make([]time.Duration, len(resps))
 	var buf []DeltaPair
 	start := time.Now()
 	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
 		nanos, pairs, err := decodeDeltasResp(resp, buf, i)
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", i, err)
@@ -364,6 +466,9 @@ func (c *Cluster) syncDegrees() error {
 			}
 			c.baseDeg[p.Node] += int64(p.Dec)
 		}
+		if c.rec != nil {
+			c.logs[i].synced = c.logs[i].count()
+		}
 	}
 	c.met.MasterCompute += time.Since(start)
 	c.account("sel", wall, handlers)
@@ -372,6 +477,9 @@ func (c *Cluster) syncDegrees() error {
 
 // Ingest loads element lists onto a specific worker (max-coverage
 // workloads); itemCount must be the same for every worker of the cluster.
+// If the requested worker is (or becomes) quarantined, the lists are
+// re-routed to a surviving worker — placement does not affect the
+// element-distributed algorithm, only balance.
 func (c *Cluster) Ingest(worker int, lists [][]uint32) error {
 	if worker < 0 || worker >= len(c.conns) {
 		return fmt.Errorf("cluster: no worker %d", worker)
@@ -379,28 +487,55 @@ func (c *Cluster) Ingest(worker int, lists [][]uint32) error {
 	if c.numItems > 1<<32-1 {
 		return fmt.Errorf("cluster: item space too large for the wire format")
 	}
-	reqs := make([][]byte, len(c.conns))
-	reqs[worker] = encodeIngestReq(c.numItems, lists)
-	resps, wall, err := c.broadcast(reqs)
-	if err != nil {
-		return err
+	req := encodeIngestReq(c.numItems, lists)
+	for {
+		target := worker
+		if c.rec != nil && c.dead[target] {
+			live := c.liveIndexes()
+			if len(live) == 0 {
+				return fmt.Errorf("cluster: %w", ErrNoLiveWorkers)
+			}
+			target = live[0]
+		}
+		reqs := make([][]byte, len(c.conns))
+		reqs[target] = req
+		resps, wall, downs, err := c.broadcast(reqs)
+		if err != nil {
+			return err
+		}
+		if len(downs) > 0 {
+			if err := c.repair(downs, nil); err != nil {
+				return err
+			}
+			if resps[target] == nil {
+				continue // the ingest itself failed; retry on a survivor
+			}
+		}
+		nanos, err := decodeAckResp(resps[target])
+		if err != nil {
+			return err
+		}
+		c.record(target, req, 0, int64(len(lists)))
+		c.account("sel", wall, []time.Duration{time.Duration(nanos)})
+		// Fold the ingested lists' coverage into the baseline (repair,
+		// if it ran, already rebuilt the baseline including them).
+		if len(downs) > 0 {
+			return nil
+		}
+		return c.syncDegreesOne(target)
 	}
-	nanos, err := decodeAckResp(resps[worker])
-	if err != nil {
-		return err
-	}
-	c.account("sel", wall, []time.Duration{time.Duration(nanos)})
-	// Fold the ingested lists' coverage into the baseline.
-	return c.syncDegreesOne(worker)
 }
 
 // syncDegreesOne pulls degree deltas from a single worker.
 func (c *Cluster) syncDegreesOne(worker int) error {
 	reqs := make([][]byte, len(c.conns))
 	reqs[worker] = encodeSimpleReq(msgDegreeDelta)
-	resps, wall, err := c.broadcast(reqs)
+	resps, wall, downs, err := c.broadcast(reqs)
 	if err != nil {
 		return err
+	}
+	if len(downs) > 0 {
+		return c.repair(downs, nil)
 	}
 	nanos, pairs, err := decodeDeltasResp(resps[worker], nil, worker)
 	if err != nil {
@@ -413,46 +548,89 @@ func (c *Cluster) syncDegreesOne(worker int) error {
 		}
 		c.baseDeg[p.Node] += int64(p.Dec)
 	}
+	if c.rec != nil {
+		c.logs[worker].synced = c.logs[worker].count()
+	}
 	c.account("sel", wall, []time.Duration{time.Duration(nanos)})
 	return nil
 }
 
-// Stats aggregates collection statistics across workers.
+// Stats aggregates collection statistics across live workers.
 func (c *Cluster) Stats() (GenerateStats, error) {
-	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgStats)))
-	if err != nil {
-		return GenerateStats{}, err
-	}
-	var agg GenerateStats
-	handlers := make([]time.Duration, len(resps))
-	for i, resp := range resps {
-		nanos, s, err := decodeStatsResp(resp)
+	for {
+		resps, wall, downs, err := c.broadcast(c.same(encodeSimpleReq(msgStats)))
 		if err != nil {
 			return GenerateStats{}, err
 		}
-		handlers[i] = time.Duration(nanos)
-		agg.Count += s.Count
-		agg.TotalSize += s.TotalSize
-		agg.EdgesExamined += s.EdgesExamined
+		if len(downs) > 0 {
+			// The dead workers' sets must be regenerated before the
+			// aggregate means anything; repair then re-read.
+			if err := c.repair(downs, nil); err != nil {
+				return GenerateStats{}, err
+			}
+			continue
+		}
+		var agg GenerateStats
+		handlers := make([]time.Duration, len(resps))
+		for i, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			nanos, s, err := decodeStatsResp(resp)
+			if err != nil {
+				return GenerateStats{}, err
+			}
+			handlers[i] = time.Duration(nanos)
+			agg.Count += s.Count
+			agg.TotalSize += s.TotalSize
+			agg.EdgesExamined += s.EdgesExamined
+		}
+		c.account("sel", wall, handlers)
+		return agg, nil
 	}
-	c.account("sel", wall, handlers)
-	return agg, nil
 }
 
 // Reset drops all RR sets cluster-wide and zeroes the baseline degrees.
+// With recovery enabled it first tries to reinstate quarantined workers:
+// a fresh respawn needs no resync here, because the reset wipes exactly
+// the state a replacement would lack. This is the "re-seeded from
+// Reset+Generate" rejoin path for replaced or restarted workers.
 func (c *Cluster) Reset() error {
-	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgReset)))
+	if c.rec != nil {
+		for i := range c.conns {
+			if !c.dead[i] {
+				continue
+			}
+			conn, err := c.rec.Respawn(i)
+			if err != nil {
+				continue // stays quarantined; the operator can retry later
+			}
+			c.adoptConn(i, conn)
+		}
+		for i := range c.logs {
+			c.logs[i] = workerLog{}
+		}
+		c.selecting = false
+		c.selSeeds = c.selSeeds[:0]
+	}
+	resps, wall, downs, err := c.broadcast(c.same(encodeSimpleReq(msgReset)))
 	if err != nil {
 		return err
 	}
 	handlers := make([]time.Duration, len(resps))
 	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
 		nanos, err := decodeAckResp(resp)
 		if err != nil {
 			return err
 		}
 		handlers[i] = time.Duration(nanos)
 	}
+	// Workers quarantined during the reset held no state worth
+	// rebalancing (everything was being dropped); nothing to repair.
+	_ = downs
 	c.account("sel", wall, handlers)
 	for i := range c.baseDeg {
 		c.baseDeg[i] = 0
@@ -487,26 +665,40 @@ func decodeFetchResp(worker int, rest []byte, into *rrset.Collection) (int, erro
 // for a complete selection, and its memory footprint is the entire sample
 // set on one machine.
 func (c *Cluster) GatherAll() (*rrset.Collection, error) {
-	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgFetchAll)))
-	if err != nil {
-		return nil, err
-	}
-	handlers := make([]time.Duration, len(resps))
-	union := rrset.NewCollection(1 << 16)
-	start := time.Now()
-	for i, resp := range resps {
-		nanos, rest, err := decodeRespHeader(resp)
+	for {
+		resps, wall, downs, err := c.broadcast(c.same(encodeSimpleReq(msgFetchAll)))
 		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
-		handlers[i] = time.Duration(nanos)
-		if _, err := decodeFetchResp(i, rest, union); err != nil {
 			return nil, err
 		}
+		if len(downs) > 0 {
+			// The union must cover the whole sample; regenerate the
+			// quarantined workers' shards on survivors, then refetch
+			// from scratch (a gather is Θ(total) anyway).
+			if err := c.repair(downs, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		handlers := make([]time.Duration, len(resps))
+		union := rrset.NewCollection(1 << 16)
+		start := time.Now()
+		for i, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			nanos, rest, err := decodeRespHeader(resp)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+			}
+			handlers[i] = time.Duration(nanos)
+			if _, err := decodeFetchResp(i, rest, union); err != nil {
+				return nil, err
+			}
+		}
+		c.met.MasterCompute += time.Since(start)
+		c.account("sel", wall, handlers)
+		return union, nil
 	}
-	c.met.MasterCompute += time.Since(start)
-	c.account("sel", wall, handlers)
-	return union, nil
 }
 
 // FetchNew pulls, from each worker, only the RR sets generated since the
@@ -529,32 +721,51 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 	if into == nil {
 		return nil, fmt.Errorf("cluster: nil destination collection")
 	}
-	reqs := make([][]byte, len(c.conns))
-	for i := range reqs {
-		reqs[i] = encodeFetchSinceReq(int64(since[i]))
-	}
-	resps, wall, err := c.broadcast(reqs)
-	if err != nil {
-		return nil, err
-	}
-	handlers := make([]time.Duration, len(resps))
 	next := make([]int, len(since))
-	start := time.Now()
-	for i, resp := range resps {
-		nanos, rest, err := decodeRespHeader(resp)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+	copy(next, since)
+	for {
+		reqs := make([][]byte, len(c.conns))
+		for i := range reqs {
+			reqs[i] = encodeFetchSinceReq(int64(next[i]))
 		}
-		handlers[i] = time.Duration(nanos)
-		added, err := decodeFetchResp(i, rest, into)
+		resps, wall, downs, err := c.broadcast(reqs)
 		if err != nil {
 			return nil, err
 		}
-		next[i] = since[i] + added
+		handlers := make([]time.Duration, len(resps))
+		start := time.Now()
+		for i, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			nanos, rest, err := decodeRespHeader(resp)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+			}
+			handlers[i] = time.Duration(nanos)
+			added, err := decodeFetchResp(i, rest, into)
+			if err != nil {
+				return nil, err
+			}
+			next[i] += added
+			if c.rec != nil {
+				c.logs[i].fetched = int64(next[i])
+			}
+		}
+		c.met.MasterCompute += time.Since(start)
+		c.account("sel", wall, handlers)
+		if len(downs) == 0 {
+			return next, nil
+		}
+		// The quarantined workers' unfetched suffixes were lost with
+		// them; repair regenerates exactly those RR sets on survivors
+		// (fresh epoch-salted streams), and the next loop iteration
+		// fetches them from the survivors' advanced cursors. Each
+		// iteration either quarantines another worker or terminates.
+		if err := c.repair(downs, nil); err != nil {
+			return nil, err
+		}
 	}
-	c.met.MasterCompute += time.Since(start)
-	c.account("sel", wall, handlers)
-	return next, nil
 }
 
 // EstimateSpread estimates σ(seeds) by forward Monte-Carlo simulation
@@ -565,24 +776,40 @@ func (c *Cluster) EstimateSpread(seeds []uint32, rounds int64) (mean, stderr flo
 	if rounds <= 0 {
 		return 0, 0, fmt.Errorf("cluster: round count must be positive, got %d", rounds)
 	}
-	l := int64(len(c.conns))
+	live := c.liveIndexes()
+	if len(live) == 0 {
+		return 0, 0, fmt.Errorf("cluster: %w", ErrNoLiveWorkers)
+	}
+	l := int64(len(live))
 	per := rounds / l
 	extra := rounds % l
 	reqs := make([][]byte, len(c.conns))
-	for i := range reqs {
+	for idx, i := range live {
 		r := per
-		if int64(i) < extra {
+		if int64(idx) < extra {
 			r++
 		}
 		reqs[i] = encodeEstimateReq(seeds, r)
 	}
-	resps, wall, err := c.broadcast(reqs)
+	resps, wall, downs, err := c.broadcast(reqs)
 	if err != nil {
 		return 0, 0, err
+	}
+	if len(downs) > 0 {
+		// Simulation rounds are stateless, but the quarantined workers'
+		// RR shards must be regenerated before any later sample use.
+		// The estimate itself proceeds on the rounds that did return:
+		// the mean stays unbiased, just over fewer rounds.
+		if err := c.repair(downs, nil); err != nil {
+			return 0, 0, err
+		}
 	}
 	handlers := make([]time.Duration, len(resps))
 	var totRounds, sum, sumSq int64
 	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
 		nanos, rest, err := decodeRespHeader(resp)
 		if err != nil {
 			return 0, 0, fmt.Errorf("cluster: worker %d: %w", i, err)
@@ -618,26 +845,39 @@ func (c *Cluster) EstimateSpread(seeds []uint32, rounds int64) (mean, stderr flo
 // set. Used by frameworks that evaluate a fixed solution on a held-out
 // collection (OPIM-C's lower bound).
 func (c *Cluster) CoverageOf(seeds []uint32) (int64, error) {
-	resps, wall, err := c.broadcast(c.same(encodeCoverageReq(seeds)))
-	if err != nil {
-		return 0, err
-	}
-	handlers := make([]time.Duration, len(resps))
-	var total int64
-	for i, resp := range resps {
-		nanos, rest, err := decodeRespHeader(resp)
-		if err != nil {
-			return 0, fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
-		handlers[i] = time.Duration(nanos)
-		covered, _, err := consumeI64(rest)
+	for {
+		resps, wall, downs, err := c.broadcast(c.same(encodeCoverageReq(seeds)))
 		if err != nil {
 			return 0, err
 		}
-		total += covered
+		if len(downs) > 0 {
+			// The count must run over the full sample; repair moves the
+			// quarantined shards onto survivors, then re-count.
+			if err := c.repair(downs, nil); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		handlers := make([]time.Duration, len(resps))
+		var total int64
+		for i, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			nanos, rest, err := decodeRespHeader(resp)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: worker %d: %w", i, err)
+			}
+			handlers[i] = time.Duration(nanos)
+			covered, _, err := consumeI64(rest)
+			if err != nil {
+				return 0, err
+			}
+			total += covered
+		}
+		c.account("sel", wall, handlers)
+		return total, nil
 	}
-	c.account("sel", wall, handlers)
-	return total, nil
 }
 
 // Oracle returns the element-distributed coverage oracle over this
@@ -657,37 +897,72 @@ func (o *distOracle) NumItems() int { return o.c.numItems }
 // survive for the next NEWGREEDI call at a larger θ.
 func (o *distOracle) InitialDegrees() ([]int64, error) {
 	c := o.c
-	resps, wall, err := c.broadcast(c.same(encodeSimpleReq(msgBeginSelect)))
-	if err != nil {
-		return nil, err
-	}
-	handlers := make([]time.Duration, len(resps))
-	for i, resp := range resps {
-		nanos, err := decodeAckResp(resp)
+	for {
+		resps, wall, downs, err := c.broadcast(c.same(encodeSimpleReq(msgBeginSelect)))
 		if err != nil {
 			return nil, err
 		}
-		handlers[i] = time.Duration(nanos)
+		if len(downs) > 0 {
+			// Repair, then re-relabel: beginSelect is idempotent, so
+			// re-broadcasting to workers that already acked just resets
+			// their covered labels again. The rebuilt baseline reflects
+			// the repaired sample, so the greedy starts consistent.
+			if err := c.repair(downs, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		handlers := make([]time.Duration, len(resps))
+		for i, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			nanos, err := decodeAckResp(resp)
+			if err != nil {
+				return nil, err
+			}
+			handlers[i] = time.Duration(nanos)
+		}
+		c.account("sel", wall, handlers)
+		if c.rec != nil {
+			c.selecting = true
+			c.selSeeds = c.selSeeds[:0]
+		}
+		deg := make([]int64, len(c.baseDeg))
+		copy(deg, c.baseDeg)
+		return deg, nil
 	}
-	c.account("sel", wall, handlers)
-	deg := make([]int64, len(c.baseDeg))
-	copy(deg, c.baseDeg)
-	return deg, nil
 }
 
 // Select broadcasts the new seed and merges the per-worker delta vectors
 // (Algorithm 1's reduce stage, line 22).
 func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 	c := o.c
-	resps, wall, err := c.broadcast(c.same(encodeSelectReq(u)))
+	resps, wall, downs, err := c.broadcast(c.same(encodeSelectReq(u)))
 	if err != nil {
 		return nil, err
+	}
+	if len(downs) > 0 {
+		// A shard died mid-greedy and its sets were regenerated on
+		// survivors — the greedy's degree vector no longer describes
+		// the repaired sample. Repair, then make the caller restart
+		// from InitialDegrees (the typed error below); the restarted
+		// run selects over a consistent sample of the original size.
+		if err := c.repair(downs, nil); err != nil {
+			return nil, err
+		}
+		c.selecting = false
+		c.selSeeds = c.selSeeds[:0]
+		return nil, &RebalancedError{Quarantined: downs}
 	}
 	handlers := make([]time.Duration, len(resps))
 	start := time.Now()
 	c.mergeTouched = c.mergeTouched[:0]
 	var buf []DeltaPair
 	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
 		nanos, pairs, err := decodeDeltasResp(resp, buf, i)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
@@ -712,6 +987,12 @@ func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 		// Keep the baseline in sync: these RR sets are now covered for the
 		// remainder of this greedy run only, so the baseline must NOT
 		// change here. Baseline tracks all-uncovered degrees.
+	}
+	if c.rec != nil {
+		// Journal the seed: a replacement worker resyncing mid-greedy
+		// replays beginSelect plus this prefix to rebuild its covered
+		// labels exactly.
+		c.selSeeds = append(c.selSeeds, u)
 	}
 	c.met.MasterCompute += time.Since(start)
 	c.account("sel", wall, handlers)

@@ -31,6 +31,8 @@ const (
 	msgEstimate    = byte(9)  // forward Monte-Carlo influence estimation of a seed set
 	msgCoverage    = byte(10) // count RR sets covered by a fixed seed set
 	msgFetchSince  = byte(11) // ship only the RR sets generated since a given id
+	msgSetReported = byte(12) // set the degree-delta cursor (failover resync)
+	msgGenerateAux = byte(13) // generate RR sets from an explicit stream seed (rebalance)
 	msgError       = byte(0x7f)
 )
 
@@ -172,6 +174,40 @@ func decodeCoverageReq(payload []byte) ([]uint32, error) {
 // query service; msgFetchAll remains the from-zero special case).
 func encodeFetchSinceReq(from int64) []byte {
 	return appendI64([]byte{msgFetchSince}, from)
+}
+
+// encodeSetReportedReq positions a worker's degree-delta cursor: the next
+// msgDegreeDelta reports coverage of RR sets [count, Count()) only. The
+// failover resync uses it after replaying a replacement worker's
+// generation history, so the rebuilt worker re-reports exactly what the
+// master's baseline vector is missing (count = 0 re-reports everything,
+// the baseline-rebuild path after a quarantine).
+func encodeSetReportedReq(count int64) []byte {
+	return appendI64([]byte{msgSetReported}, count)
+}
+
+// encodeGenerateAuxReq asks a worker to generate count RR sets from an
+// explicitly seeded auxiliary sampler stream instead of its own. This is
+// the rebalance primitive: when a worker is quarantined, its lost quota
+// is regenerated on survivors under fresh epoch-salted seeds — i.i.d.
+// with every other stream by Corollary 1, so the sample stays unbiased.
+func encodeGenerateAuxReq(streamSeed uint64, count int64) []byte {
+	b := make([]byte, 0, 1+8+8)
+	b = append(b, msgGenerateAux)
+	b = appendI64(b, int64(streamSeed))
+	return appendI64(b, count)
+}
+
+func decodeGenerateAuxReq(payload []byte) (streamSeed uint64, count int64, err error) {
+	s, rest, err := consumeI64(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, _, err = consumeI64(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint64(s), count, nil
 }
 
 // --- response encoding -----------------------------------------------------

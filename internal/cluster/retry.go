@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds the fault-tolerance layer's persistence: how many
+// times a failed call may be retried across redials, and how long to
+// back off between attempts. Backoff is exponential with full jitter,
+// capped at MaxBackoff, so a cluster of masters hammering a restarting
+// worker spreads its reconnect attempts instead of synchronizing them.
+type RetryPolicy struct {
+	Retries    int           // redial+retry attempts after the first failure (<=0: DefaultRetries)
+	Backoff    time.Duration // initial backoff before the first retry (<=0: DefaultRetryBackoff)
+	MaxBackoff time.Duration // backoff cap (<=0: 64x Backoff)
+}
+
+// Defaults for RetryPolicy's zero values.
+const (
+	DefaultRetries      = 3
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Retries <= 0 {
+		p.Retries = DefaultRetries
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetryBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 64 * p.Backoff
+	}
+	return p
+}
+
+// sleep blocks for the attempt'th backoff interval (attempt counts from
+// 1): capped exponential growth with full jitter.
+func (p RetryPolicy) sleep(attempt int) {
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	// Full jitter: uniform in [d/2, d). rand's global source is
+	// goroutine-safe; determinism is irrelevant here (backoff timing
+	// never influences sampled streams).
+	time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2+1))))
+}
+
+// WorkerDownError reports a worker that stayed unreachable through the
+// whole retry budget. Detect it with errors.As; the wrapped Err is the
+// last failure observed.
+type WorkerDownError struct {
+	Addr     string // worker address, or a symbolic name for local conns
+	Attempts int    // total call attempts made (1 + retries)
+	Err      error  // last underlying failure
+}
+
+func (e *WorkerDownError) Error() string {
+	return fmt.Sprintf("cluster: worker %s down after %d attempts: %v", e.Addr, e.Attempts, e.Err)
+}
+
+func (e *WorkerDownError) Unwrap() error { return e.Err }
+
+// RetryConn wraps a Conn with transparent retry and redial. Every Call
+// error from the wrapped conn is a transport-level failure (worker-side
+// errors travel in-band as msgError frames and decode later at the
+// master), so any of them — timeouts, poisoned streams, resets — makes
+// the current session unusable and a fresh dial is the right recovery.
+//
+// A redial reaches a brand-new worker with empty state (Serve constructs
+// one per accepted connection), so a bare retry is only sound for calls
+// that do not depend on worker state. RetryConn therefore retries:
+//
+//   - any call, when an OnReconnect hook is installed: the hook re-seeds
+//     the fresh worker (the Cluster installs its replay-based resync
+//     here) before the failed call is re-issued;
+//   - only stateless/idempotent-by-reset semantics calls otherwise
+//     (msgReset — after which the fresh empty worker is exactly the
+//     desired state — plus msgStats-style reads of the empty state are
+//     NOT safe, so without a hook only msgReset qualifies).
+//
+// After the retry budget is exhausted the conn enters a down state:
+// further Calls fail fast with *WorkerDownError until Redial succeeds.
+type RetryConn struct {
+	addr string
+	dial func() (Conn, error)
+	pol  RetryPolicy
+
+	// OnReconnect, when non-nil, runs against every freshly dialed conn
+	// before the failed call is re-issued; returning an error discards
+	// the new conn and counts the attempt as failed. Install state
+	// resynchronization here. Must be set before the first Call.
+	OnReconnect func(Conn) error
+
+	mu    sync.Mutex // serializes calls and guards inner/down
+	inner Conn
+	down  bool
+
+	retries atomic.Int64 // calls re-issued after a failure
+	redials atomic.Int64 // successful re-dials
+
+	retiredSent atomic.Int64 // bytes accounted on conns already replaced
+	retiredRecv atomic.Int64
+}
+
+// NewRetryConn dials a worker through dial and wraps the session in a
+// RetryConn named addr (used in errors and stats). The policy's zero
+// values take the package defaults.
+func NewRetryConn(addr string, dial func() (Conn, error), pol RetryPolicy) (*RetryConn, error) {
+	inner, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return &RetryConn{addr: addr, dial: dial, pol: pol.normalized(), inner: inner}, nil
+}
+
+// Addr returns the worker address the conn redials.
+func (c *RetryConn) Addr() string { return c.addr }
+
+// Stats returns the cumulative retry and redial counts (the /statsz
+// per-worker counters).
+func (c *RetryConn) Stats() (retries, redials int64) {
+	return c.retries.Load(), c.redials.Load()
+}
+
+// Down reports whether the conn is in the failed-fast state.
+func (c *RetryConn) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// Call implements Conn with transparent retry/redial per the policy.
+func (c *RetryConn) Call(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return nil, &WorkerDownError{Addr: c.addr, Attempts: c.pol.Retries + 1,
+			Err: fmt.Errorf("connection previously marked down")}
+	}
+	resp, err := c.inner.Call(req)
+	if err == nil {
+		return resp, nil
+	}
+	if c.OnReconnect == nil && !retrySafeWithoutResync(req) {
+		// A fresh worker would come up empty; without a resync hook,
+		// re-issuing a state-dependent call would silently answer from
+		// the wrong state. Surface the failure instead.
+		return nil, err
+	}
+	last := err
+	for attempt := 1; attempt <= c.pol.Retries; attempt++ {
+		c.pol.sleep(attempt)
+		c.retries.Add(1)
+		if err := c.redialLocked(); err != nil {
+			last = err
+			continue
+		}
+		if c.OnReconnect != nil {
+			if err := c.OnReconnect(c.inner); err != nil {
+				last = fmt.Errorf("resync after redial: %w", err)
+				continue
+			}
+		}
+		resp, err := c.inner.Call(req)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+	}
+	c.down = true
+	return nil, &WorkerDownError{Addr: c.addr, Attempts: c.pol.Retries + 1, Err: last}
+}
+
+// Redial force-replaces the session with a fresh dial (and resync, if a
+// hook is installed), clearing the down state on success. The cluster
+// uses it to bring a quarantined worker back after the operator restarts
+// it.
+func (c *RetryConn) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
+		return err
+	}
+	if c.OnReconnect != nil {
+		if err := c.OnReconnect(c.inner); err != nil {
+			return fmt.Errorf("cluster: resync after redial: %w", err)
+		}
+	}
+	c.down = false
+	return nil
+}
+
+func (c *RetryConn) redialLocked() error {
+	fresh, err := c.dial()
+	if err != nil {
+		return err
+	}
+	if c.inner != nil {
+		s, r := c.inner.Bytes()
+		c.retiredSent.Add(s)
+		c.retiredRecv.Add(r)
+		_ = c.inner.Close()
+	}
+	c.inner = fresh
+	c.redials.Add(1)
+	return nil
+}
+
+// retrySafeWithoutResync reports whether re-issuing req against a fresh,
+// empty worker is semantically safe with no resync hook installed.
+func retrySafeWithoutResync(req []byte) bool {
+	return len(req) > 0 && req[0] == msgReset
+}
+
+// Bytes sums the payload bytes over the current and all retired sessions.
+func (c *RetryConn) Bytes() (int64, int64) {
+	c.mu.Lock()
+	var s, r int64
+	if c.inner != nil {
+		s, r = c.inner.Bytes()
+	}
+	c.mu.Unlock()
+	return s + c.retiredSent.Load(), r + c.retiredRecv.Load()
+}
+
+// Close closes the current session; the conn stays closed (no redial).
+func (c *RetryConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = true
+	if c.inner == nil {
+		return nil
+	}
+	err := c.inner.Close()
+	c.inner = nil
+	return err
+}

@@ -35,7 +35,14 @@ type localConn struct {
 	reqCh  chan []byte
 	respCh chan []byte
 	done   chan struct{}
-	closed atomic.Bool
+	// mu guards the closed flag AND the send on reqCh: Call sends while
+	// holding the read lock, Close flips the flag and closes reqCh under
+	// the write lock. The historic atomic flag allowed Close to close
+	// reqCh between Call's check and its send — a "send on closed
+	// channel" panic under concurrent Call/Close (ISSUE 5 regression
+	// test: TestLocalConnCallCloseRace).
+	mu     sync.RWMutex
+	closed bool
 	sent   atomic.Int64
 	recv   atomic.Int64
 }
@@ -57,12 +64,23 @@ func NewLocalConn(w *Worker) Conn {
 	return c
 }
 
+// ErrConnClosed is the typed error a Call on an explicitly closed
+// connection returns. A closed conn is a dead worker from the caller's
+// perspective, so the fault-tolerance layer treats it as retryable.
+var ErrConnClosed = errors.New("cluster: call on closed connection")
+
 func (c *localConn) Call(req []byte) ([]byte, error) {
-	if c.closed.Load() {
-		return nil, fmt.Errorf("cluster: call on closed local connection")
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrConnClosed
 	}
 	c.sent.Add(int64(len(req)))
 	c.reqCh <- req
+	// The send is in: the worker goroutine owns the request and will
+	// produce exactly one reply, so the response read can happen outside
+	// the lock (Close only closes reqCh, never respCh).
+	c.mu.RUnlock()
 	resp := <-c.respCh
 	// Copy the frame: the worker may reuse its buffers on the next call.
 	out := make([]byte, len(resp))
@@ -74,10 +92,15 @@ func (c *localConn) Call(req []byte) ([]byte, error) {
 func (c *localConn) Bytes() (int64, int64) { return c.sent.Load(), c.recv.Load() }
 
 func (c *localConn) Close() error {
-	if c.closed.CompareAndSwap(false, true) {
-		close(c.reqCh)
-		<-c.done
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
 	}
+	c.closed = true
+	close(c.reqCh)
+	c.mu.Unlock()
+	<-c.done
 	return nil
 }
 
@@ -134,6 +157,19 @@ func (e *CallTimeoutError) Error() string {
 // semantics generically.
 func (e *CallTimeoutError) Timeout() bool { return true }
 
+// ConnBrokenError reports a Call on a TCP connection whose frame stream
+// was poisoned by an earlier timed-out call: the worker's late reply is
+// (or will be) sitting unread in the socket, so any further read would
+// hand the master a stale frame as if it answered the new request. The
+// only safe recovery is a redial — which RetryConn automates.
+type ConnBrokenError struct {
+	Addr string
+}
+
+func (e *ConnBrokenError) Error() string {
+	return fmt.Sprintf("cluster: connection to worker %s is broken after a timed-out call; redial to recover", e.Addr)
+}
+
 // tcpConn is the master's handle to a worker over a socket.
 type tcpConn struct {
 	nc      net.Conn
@@ -168,7 +204,7 @@ func DialWorkerTimeout(addr string, callTimeout time.Duration) (Conn, error) {
 
 func (c *tcpConn) Call(req []byte) ([]byte, error) {
 	if c.broken {
-		return nil, fmt.Errorf("cluster: connection to worker %s is broken after a timed-out call", c.addr)
+		return nil, &ConnBrokenError{Addr: c.addr}
 	}
 	if c.timeout > 0 {
 		if err := c.nc.SetDeadline(time.Now().Add(c.timeout)); err != nil {

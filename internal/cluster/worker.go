@@ -203,6 +203,31 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		}
 		return w.estimate(seeds, rounds, start)
 
+	case msgSetReported:
+		count, _, err := consumeI64(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		if count < 0 || count > int64(w.coll.Count()) {
+			return nil, fmt.Errorf("degree-delta cursor %d outside [0, %d]", count, w.coll.Count())
+		}
+		w.reported = int(count)
+		return encodeAckResp(time.Since(start).Nanoseconds()), nil
+
+	case msgGenerateAux:
+		streamSeed, count, err := decodeGenerateAuxReq(req[1:])
+		if err != nil {
+			return nil, err
+		}
+		if err := w.generateAux(streamSeed, count); err != nil {
+			return nil, err
+		}
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
+			Count:         int64(w.coll.Count()),
+			TotalSize:     w.coll.TotalSize(),
+			EdgesExamined: w.coll.EdgesExamined(),
+		}), nil
+
 	case msgCoverage:
 		seeds, err := decodeCoverageReq(req[1:])
 		if err != nil {
@@ -280,6 +305,36 @@ func (w *Worker) ingest(payload []byte) error {
 		w.kern.Grow(need)
 	}
 	w.idx = nil
+	return nil
+}
+
+// generateAux appends count RR sets drawn from a one-shot sampler seeded
+// with streamSeed instead of this worker's own stream. The rebalance path
+// regenerates a quarantined worker's lost quota this way: any machine can
+// host the replacement stream because RR sets are i.i.d. regardless of
+// which machine samples them (Corollary 1) — the seed, not the host,
+// identifies the stream. The auxiliary sampler shares the worker's graph,
+// model and parallelism so the stream is reproducible on any peer.
+func (w *Worker) generateAux(streamSeed uint64, count int64) error {
+	if w.sampler == nil {
+		return fmt.Errorf("worker has no graph; cannot generate RR sets")
+	}
+	if count < 0 {
+		return fmt.Errorf("negative generation count %d", count)
+	}
+	if count > maxGenerateBatch {
+		return fmt.Errorf("generation count %d exceeds the per-request cap %d", count, int64(maxGenerateBatch))
+	}
+	aux, err := rrset.NewShardedSampler(w.cfg.Graph, w.cfg.Model, streamSeed, w.cfg.Subset, w.cfg.Parallelism)
+	if err != nil {
+		return err
+	}
+	if w.cfg.RootWeights != nil {
+		if err := aux.SetRootWeights(w.cfg.RootWeights); err != nil {
+			return err
+		}
+	}
+	aux.SampleManyInto(w.coll, count)
 	return nil
 }
 

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -114,7 +115,21 @@ func (e *clusterEngine) Generate(target int64) error {
 func (e *clusterEngine) Count() int64 { return e.count }
 
 func (e *clusterEngine) SelectK(k int) (*coverage.Result, error) {
-	return coverage.RunGreedy(e.cl.Oracle(), k)
+	// A worker quarantined mid-greedy surfaces as *RebalancedError: the
+	// cluster already regenerated the lost shard on survivors and
+	// rebuilt the baseline, but the in-flight greedy's degree vector
+	// describes the pre-repair sample. Restarting from InitialDegrees
+	// is sound — the repaired sample has the original size and law, so
+	// the NEWGREEDI guarantee is unchanged. Bounded by the worker count:
+	// every restart consumed at least one quarantine.
+	for attempt := 0; ; attempt++ {
+		res, err := coverage.RunGreedy(e.cl.Oracle(), k)
+		var reb *cluster.RebalancedError
+		if err != nil && errors.As(err, &reb) && attempt < e.cl.NumWorkers() {
+			continue
+		}
+		return res, err
+	}
 }
 
 // RunDIIMM runs DIIMM over an in-process cluster of opt.Machines workers
@@ -138,6 +153,18 @@ func RunDIIMM(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	defer cl.Close()
+	// In-process workers can always be respawned from their configs, so
+	// a fault (e.g. an injected one in tests) never kills the run.
+	_ = cl.EnableRecovery(cluster.Recovery{
+		Respawn: func(i int) (cluster.Conn, error) {
+			w, err := cluster.NewWorker(cfgs[i])
+			if err != nil {
+				return nil, err
+			}
+			return cluster.NewLocalConn(w), nil
+		},
+		Salt: opt.Seed,
+	})
 	return RunDIIMMOnCluster(g.NumNodes(), cl, opt)
 }
 

@@ -63,11 +63,19 @@ func (s *Service) instrument(name string, gated bool, h func(http.ResponseWriter
 		}
 		var he *httpError
 		var bad *BadQueryError
+		var deg *DegradedError
 		switch {
 		case errors.As(err, &he):
 			writeJSON(w, he.status, errBody{Error: he.msg})
 		case errors.As(err, &bad):
 			writeJSON(w, http.StatusBadRequest, errBody{Error: bad.Error()})
+		case errors.As(err, &deg):
+			// Lost worker capacity: the service still answers whatever the
+			// resident certificate covers, so tell clients when to retry
+			// rather than treating this as a server bug.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(deg.RetryAfter/time.Second)))
+			writeJSON(w, http.StatusServiceUnavailable, errBody{Error: deg.Error()})
 		default:
 			writeJSON(w, http.StatusInternalServerError, errBody{Error: err.Error()})
 		}

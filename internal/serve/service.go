@@ -69,6 +69,15 @@ type Config struct {
 	// requests get 429 (default 64).
 	MaxInFlight int
 
+	// Retries and RetryBackoff shape the fault-tolerance schedule the
+	// Service installs on its in-process clusters (cmd/dimmsrv mirrors
+	// them onto dialed workers): how many times a failed worker is
+	// respawned and resynced before being quarantined, and the base of
+	// the capped exponential backoff between attempts. Zero means
+	// cluster.DefaultRetries / cluster.DefaultRetryBackoff.
+	Retries      int
+	RetryBackoff time.Duration
+
 	// CheckpointDir enables the durable RR-sample store (internal/store):
 	// after every growth epoch the new RR sets are appended to a
 	// checkpoint in this directory, pinned to the service's full sampling
@@ -152,6 +161,37 @@ func badQueryf(format string, args ...any) error {
 	return &BadQueryError{msg: fmt.Sprintf(format, args...)}
 }
 
+// DegradedError reports that a request needed worker capacity that is
+// currently lost: the resident sample could not grow (or the spread
+// estimator had no live workers) because failover exhausted its retry
+// budget. Queries the current certificate already covers keep being
+// answered; the HTTP layer maps this to 503 with a Retry-After header
+// so clients back off while workers are respawned or redialed.
+type DegradedError struct {
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("serve: degraded (worker capacity lost, retry in %s): %v", e.RetryAfter, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// degradeRetryAfter is the backoff hint handed to clients on 503: long
+// enough for a redial/respawn cycle, short enough to probe recovery.
+const degradeRetryAfter = 5 * time.Second
+
+// degraded wraps worker-loss errors (cluster.IsWorkerLoss) in a
+// DegradedError and counts them; other errors pass through unchanged.
+func (s *Service) degraded(err error) error {
+	if err == nil || !cluster.IsWorkerLoss(err) {
+		return err
+	}
+	s.stats.degraded.Add(1)
+	return &DegradedError{RetryAfter: degradeRetryAfter, Err: err}
+}
+
 // Service is the resident query service. Create with New, serve HTTP via
 // Handler, and Close when done.
 type Service struct {
@@ -205,6 +245,8 @@ type serviceCounters struct {
 	ckptBytes  atomic.Int64 // checkpoint bytes written since startup
 	ckptErrors atomic.Int64 // failed checkpoint attempts (queries unaffected)
 	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
+
+	degraded atomic.Int64 // requests refused 503 for lost worker capacity
 }
 
 // New builds the service and its warm clusters. The resident sample
@@ -302,7 +344,26 @@ func New(cfg Config) (*Service, error) {
 					Parallelism: par,
 				}
 			}
-			return cluster.NewLocal(cfgs, n)
+			cl, err := cluster.NewLocal(cfgs, n)
+			if err != nil {
+				return nil, err
+			}
+			// In-process workers respawn from their configs, so a failed
+			// worker is replaced with a bit-identical replay instead of
+			// taking the resident sample's growth down with it.
+			_ = cl.EnableRecovery(cluster.Recovery{
+				Respawn: func(i int) (cluster.Conn, error) {
+					w, err := cluster.NewWorker(cfgs[i])
+					if err != nil {
+						return nil, err
+					}
+					return cluster.NewLocalConn(w), nil
+				},
+				Retries: cfg.Retries,
+				Backoff: cfg.RetryBackoff,
+				Salt:    cfg.Seed ^ tag,
+			})
+			return cl, nil
 		}
 		// The same stream split as core.RunDOPIMC: R1 and R2 must be
 		// independent for the certificate's lower bound to be unbiased.
@@ -326,12 +387,10 @@ func (s *Service) Close() error {
 	}
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
-	err1 := s.c1.Close()
-	err2 := s.c2.Close()
-	if err1 != nil {
-		return err1
-	}
-	return err2
+	// Close both clusters unconditionally and join the errors: an early
+	// return on err1 would leak C2's worker goroutines/connections and
+	// silently drop err2.
+	return errors.Join(s.c1.Close(), s.c2.Close())
 }
 
 // Warm grows the resident sample until the hardest admissible query
@@ -516,7 +575,7 @@ func (s *Service) grow(fromEpoch uint64) error {
 	}()
 	s.clusterMu.Unlock()
 	if err != nil {
-		return err
+		return s.degraded(err)
 	}
 	s.stats.generated.Add(int64(new1.Count() + new2.Count()))
 	s.stats.growRounds.Add(1)
@@ -596,7 +655,8 @@ func (s *Service) Spread(seeds []uint32, rounds int64) (mean, stderr float64, er
 	}
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
-	return s.c1.EstimateSpread(seeds, rounds)
+	mean, stderr, err = s.c1.EstimateSpread(seeds, rounds)
+	return mean, stderr, s.degraded(err)
 }
 
 // Stats is a point-in-time snapshot of the service, the payload of
@@ -624,6 +684,13 @@ type Stats struct {
 	CheckpointBytes   int64   `json:"checkpoint_bytes"`
 	CheckpointErrors  int64   `json:"checkpoint_errors"`
 	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+
+	// Fault-tolerance figures: per-worker liveness and retry/redial/
+	// failover counters for the two clusters, and how many requests were
+	// refused 503 because worker capacity was lost.
+	R1Workers []cluster.WorkerHealth `json:"r1_workers"`
+	R2Workers []cluster.WorkerHealth `json:"r2_workers"`
+	Degraded  int64                  `json:"degraded"`
 
 	InFlight int64                       `json:"in_flight"`
 	Rejected int64                       `json:"rejected"`
@@ -668,7 +735,14 @@ func (s *Service) Stats() Stats {
 		CheckpointBytes:   s.stats.ckptBytes.Load(),
 		CheckpointErrors:  s.stats.ckptErrors.Load(),
 		CheckpointSeconds: float64(s.stats.ckptNanos.Load()) / 1e9,
-		InFlight:          int64(len(s.sem)),
+
+		// Cluster health has its own lock, so snapshotting it never waits
+		// on an in-flight grow round's RPCs.
+		R1Workers: s.c1.Health(),
+		R2Workers: s.c2.Health(),
+		Degraded:  s.stats.degraded.Load(),
+
+		InFlight: int64(len(s.sem)),
 		Rejected:          s.http.rejected.Load(),
 		Uptime:            time.Since(s.http.started).Seconds(),
 		Endpoint:          s.http.snapshot(),
