@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen bench-select serve bench-serve bench-store bench-fault
+.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Regenerates BENCH_RRGEN.json (RR-generation throughput per parallelism
-# level on this box).
+# Regenerates BENCH_RRGEN.json (RR-generation throughput per
+# parallelism × batch-width level on this box; cache-stressing R-MAT
+# graph by default — see -rrgen-* flags to rescale).
 rrgen:
 	$(GO) run ./cmd/experiments -run rrgen
+
+# Captures CPU + allocation profiles of the RR-generation sweep into
+# ./profiles (see scripts/capture_pprof.sh for scale knobs).
+pprof-rrgen:
+	./scripts/capture_pprof.sh
 
 # Regenerates BENCH_SELECT.json (NEWGREEDI selection critical path and
 # delta-encoding traffic per kernel parallelism level on this box).

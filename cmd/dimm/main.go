@@ -45,6 +45,7 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated TCP worker addresses (overrides -machines)")
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling (requires weighted-cascade weights)")
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines per machine (0 = auto: GOMAXPROCS/machines, 1 = sequential)")
+		batch       = flag.Int("batch", 0, "frontier-batch width of each sampling shard (0 = auto, 1 = scalar kernel; never changes sampled sets)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		callTimeout = flag.Duration("call-timeout", 0, "per-call deadline for TCP worker requests (0 = none); a wedged worker fails the run instead of hanging it")
 
@@ -73,6 +74,7 @@ func main() {
 	opt := core.Options{
 		K: *k, Eps: *eps, Delta: *delta, Machines: *machines,
 		Model: model, Subset: *subset, Seed: *seed, Parallelism: par,
+		Batch: *batch,
 	}
 	if *algo == "opimc" {
 		if *workers != "" {

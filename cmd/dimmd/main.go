@@ -57,6 +57,7 @@ func main() {
 		modelName   = flag.String("model", "ic", "diffusion model: ic|lt")
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling")
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines for this worker (0 = auto: GOMAXPROCS, 1 = sequential); must match across workers for reproducible runs")
+		batch       = flag.Int("batch", 0, "frontier-batch width of each sampling shard (0 = auto, 1 = scalar kernel; never changes sampled sets, safe to vary per worker)")
 		seed        = flag.Uint64("seed", 1, "base random seed (same on every worker)")
 		seedIndex   = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
 		grace       = flag.Duration("shutdown-grace", 5*time.Second, "on SIGINT/SIGTERM, wait this long for the connected master to go idle before closing")
@@ -105,6 +106,7 @@ func main() {
 		Subset:      *subset,
 		Seed:        cluster.DeriveSeed(*seed, *seedIndex),
 		Parallelism: par,
+		Batch:       *batch,
 	}
 	srv := cluster.NewWorkerServer(lis, func() (*cluster.Worker, error) {
 		return cluster.NewWorker(cfg)

@@ -71,6 +71,7 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated TCP worker addresses, first half R1 / second half R2 (overrides -machines)")
 		subset      = flag.Bool("subsim", false, "use SUBSIM subset sampling")
 		parallelism = flag.Int("parallelism", 0, "RR-generation goroutines per machine (0 = auto)")
+		batch       = flag.Int("batch", 0, "frontier-batch width of each sampling shard (0 = auto, 1 = scalar kernel; never changes sampled sets)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 
 		kMax     = flag.Int("kmax", 50, "largest admissible query seed-set size")
@@ -112,6 +113,7 @@ func main() {
 		Seed:          *seed,
 		Machines:      *machines,
 		Parallelism:   parOpt(*parallelism),
+		Batch:         *batch,
 		KMax:          *kMax,
 		EpsFloor:      *epsFloor,
 		Delta:         *delta,

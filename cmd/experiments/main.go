@@ -20,6 +20,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -48,7 +50,19 @@ func main() {
 		linkRTT   = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
 		linkGbps  = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
 		par       = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
+		batch     = flag.Int("batch", 0, "frontier-batch width of each sampling shard for the figure runs (0 = auto, 1 = scalar kernel)")
 		rrgenOut  = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
+
+		rrgenGraph  = flag.String("rrgen-graph", "rmat", "graph kind for -run rrgen: pref|rmat (rmat stresses cache locality)")
+		rrgenNodes  = flag.Int("rrgen-nodes", 16_000_000, "graph size for -run rrgen; the default CSR footprint far exceeds typical LLCs")
+		rrgenDegree = flag.Float64("rrgen-degree", 16, "average degree for -run rrgen")
+		rrgenCount  = flag.Int64("rrgen-count", 300_000, "RR sets per sweep level for -run rrgen")
+		rrgenPs     = flag.String("rrgen-ps", "1,2,4,8", "parallelism sweep for -run rrgen")
+		rrgenBs     = flag.String("rrgen-bs", "1,8,64,256", "frontier-batch width sweep for -run rrgen")
+		rrgenSubset = flag.Bool("rrgen-subset", true, "use SUBSIM subset sampling for -run rrgen (the memory-latency-bound regime where batching pays)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 		selectOut = flag.String("select-out", "BENCH_SELECT.json", "JSON output path for -run select (empty = print only)")
 		serveOut  = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
 		faultOut  = flag.String("fault-out", "BENCH_FAULT.json", "JSON output path for -run fault (empty = print only)")
@@ -64,6 +78,33 @@ func main() {
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	parallelism := *par
@@ -82,6 +123,7 @@ func main() {
 		LinkRTT:       *linkRTT,
 		LinkBandwidth: *linkGbps * 1e9 / 8,
 		Parallelism:   parallelism,
+		Batch:         *batch,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
@@ -129,7 +171,16 @@ func main() {
 	// rrgen, select, serve, store and fault write BENCH_*.json, so they
 	// only run when named.
 	if want["rrgen"] {
-		if _, err := cfg.RRGen(*rrgenOut); err != nil {
+		opt := bench.RRGenOptions{
+			GraphKind: *rrgenGraph,
+			Nodes:     *rrgenNodes,
+			AvgDegree: *rrgenDegree,
+			Subset:    *rrgenSubset,
+			Count:     *rrgenCount,
+			Ps:        parseInts(*rrgenPs),
+			Bs:        parseInts(*rrgenBs),
+		}
+		if _, err := cfg.RRGen(opt, *rrgenOut); err != nil {
 			log.Fatalf("rrgen: %v", err)
 		}
 	}

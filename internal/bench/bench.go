@@ -41,6 +41,11 @@ type Config struct {
 	// meaningful on an oversubscribed box (see DESIGN.md); set it
 	// explicitly (or to core.AutoParallelism) on hardware with idle cores.
 	Parallelism int
+	// Batch is the frontier-batch width of every run's sampling shards
+	// (core.Options.Batch). 0 resolves to rrset.DefaultBatch; 1 forces the
+	// scalar kernel. Never changes sampled sets, so measured shapes are
+	// comparable across batch settings.
+	Batch int
 	// LinkRTT and LinkBandwidth shape the TCP-cluster figures' links
 	// (Figs. 5/8) to model the paper's 1 Gbps switch instead of raw
 	// loopback. Zero values leave loopback unshaped.

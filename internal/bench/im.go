@@ -80,6 +80,7 @@ func (c Config) runOnce(spec workload.Spec, g *graph.Graph, machines int, model 
 		Subset:      subset,
 		Seed:        c.Seed,
 		Parallelism: c.Parallelism,
+		Batch:       c.Batch,
 	}
 	var (
 		res *core.Result
@@ -230,7 +231,7 @@ func (c Config) dialTCPWorkers(g *graph.Graph, model diffusion.Model, l int) ([]
 		par := core.ResolveParallelism(c.Parallelism, l)
 		go func() {
 			_ = cluster.Serve(lis, func() (*cluster.Worker, error) {
-				return cluster.NewWorker(cluster.WorkerConfig{Graph: g, Model: model, Seed: seed, Parallelism: par})
+				return cluster.NewWorker(cluster.WorkerConfig{Graph: g, Model: model, Seed: seed, Parallelism: par, Batch: c.Batch})
 			})
 		}()
 		conn, err := cluster.DialWorker(lis.Addr().String())

@@ -14,16 +14,21 @@ import (
 
 // RRGenOptions configures the RR-set generation throughput sweep.
 type RRGenOptions struct {
+	GraphKind string  // "pref" (default) or "rmat" (heavier skew, larger cache footprint)
 	Nodes     int     // synthetic graph size (default 50_000)
 	AvgDegree float64 // synthetic graph average degree (default 10)
 	Model     diffusion.Model
 	Subset    bool // SUBSIM subset sampling
 	Seed      uint64
-	Count     int64 // RR sets generated per parallelism level (default 200_000)
+	Count     int64 // RR sets generated per sweep level (default 200_000)
 	Ps        []int // parallelism sweep (default 1,2,4,8)
+	Bs        []int // frontier-batch width sweep (default 1,8,64,256)
 }
 
 func (o RRGenOptions) withDefaults() RRGenOptions {
+	if o.GraphKind == "" {
+		o.GraphKind = "pref"
+	}
 	if o.Nodes == 0 {
 		o.Nodes = 50_000
 	}
@@ -39,12 +44,16 @@ func (o RRGenOptions) withDefaults() RRGenOptions {
 	if len(o.Ps) == 0 {
 		o.Ps = []int{1, 2, 4, 8}
 	}
+	if len(o.Bs) == 0 {
+		o.Bs = []int{1, 8, 64, 256}
+	}
 	return o
 }
 
-// RRGenResult is one parallelism level of the sweep.
+// RRGenResult is one (parallelism, batch-width) level of the sweep.
 type RRGenResult struct {
 	Parallelism      int     `json:"parallelism"`
+	Batch            int     `json:"batch"`
 	Sets             int64   `json:"sets"`
 	TotalSize        int64   `json:"total_size"`
 	Probes           int64   `json:"probes"`
@@ -53,6 +62,9 @@ type RRGenResult struct {
 	ProbesPerSec     float64 `json:"probes_per_sec"`
 	AllocBytesPerSet float64 `json:"alloc_bytes_per_set"`
 	SpeedupVsP1      float64 `json:"speedup_vs_p1"`
+	// SpeedupVsB1 compares against the scalar kernel at the same
+	// parallelism: the frontier-batching win in isolation.
+	SpeedupVsB1 float64 `json:"speedup_vs_b1"`
 	// Skipped marks levels the box cannot honestly measure: running P
 	// goroutines on fewer than P CPUs time-slices the shards and reports
 	// a meaningless (often sub-1×) "speedup".
@@ -63,10 +75,13 @@ type RRGenResult struct {
 // RRGenReport is the machine-readable record written to BENCH_RRGEN.json
 // so future changes can track the RR-generation perf trajectory. The
 // GOMAXPROCS/NumCPU fields matter for interpretation: parallel speedup
-// requires idle cores, and a 1-core box shows ≈1× at every P.
+// requires idle cores, and a 1-core box shows ≈1× at every P. Batched
+// speedup (SpeedupVsB1) needs no idle cores — it is a locality win — so
+// it is meaningful even on a 1-core box.
 type RRGenReport struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
+	GraphKind  string        `json:"graph_kind"`
 	Nodes      int           `json:"nodes"`
 	Edges      int64         `json:"edges"`
 	Model      string        `json:"model"`
@@ -77,13 +92,29 @@ type RRGenReport struct {
 }
 
 // RunRRGen measures sharded RR-set generation throughput across the
-// parallelism sweep on one synthetic weighted-cascade graph. Every level
-// uses the same worker seed; collections are fresh per level.
+// parallelism × batch-width sweep on one synthetic weighted-cascade
+// graph. Every level uses the same worker seed (the sampled sets are
+// identical at every level by the batch-invariance guarantee);
+// collections are fresh per level. Each level runs a full untimed
+// Count-set warmup pass first, so the timed window — and the
+// alloc-per-set figure — measures the steady state of the arenas, not
+// their growth.
 func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
 	opt = opt.withDefaults()
-	g, err := graph.GenPreferential(graph.GenConfig{
-		Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed, UniformAttach: 0.15,
-	})
+	var g *graph.Graph
+	var err error
+	switch opt.GraphKind {
+	case "pref":
+		g, err = graph.GenPreferential(graph.GenConfig{
+			Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed, UniformAttach: 0.15,
+		})
+	case "rmat":
+		g, err = graph.GenRMAT(graph.RMATConfig{GenConfig: graph.GenConfig{
+			Nodes: opt.Nodes, AvgDegree: opt.AvgDegree, Seed: opt.Seed,
+		}})
+	default:
+		return nil, fmt.Errorf("bench: unknown rrgen graph kind %q (want pref|rmat)", opt.GraphKind)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +124,7 @@ func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
 	rep := &RRGenReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		GraphKind:  opt.GraphKind,
 		Nodes:      g.NumNodes(),
 		Edges:      g.NumEdges(),
 		Model:      opt.Model.String(),
@@ -100,59 +132,72 @@ func RunRRGen(opt RRGenOptions) (*RRGenReport, error) {
 		Seed:       opt.Seed,
 		Count:      opt.Count,
 	}
+	find := func(p, b int) *RRGenResult {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			if r.Parallelism == p && r.Batch == b && !r.Skipped {
+				return r
+			}
+		}
+		return nil
+	}
 	for _, p := range opt.Ps {
-		if p > rep.NumCPU {
-			rep.Results = append(rep.Results, RRGenResult{
-				Parallelism: p,
-				Skipped:     true,
-				Warning: fmt.Sprintf("parallelism %d exceeds the box's %d CPU(s); a timed run would report time-slicing, not speedup",
-					p, rep.NumCPU),
-			})
-			continue
+		for _, bw := range opt.Bs {
+			if p > rep.NumCPU {
+				rep.Results = append(rep.Results, RRGenResult{
+					Parallelism: p,
+					Batch:       bw,
+					Skipped:     true,
+					Warning: fmt.Sprintf("parallelism %d exceeds the box's %d CPU(s); a timed run would report time-slicing, not speedup",
+						p, rep.NumCPU),
+				})
+				continue
+			}
+			s, err := rrset.NewShardedSamplerBatch(g, opt.Model, opt.Seed, opt.Subset, p, bw)
+			if err != nil {
+				return nil, err
+			}
+			coll := rrset.NewCollection(1 << 16)
+			// Full warmup: generate Count sets, then reset. This grows the
+			// collection arena, the lane scratch and the visited tables to
+			// their steady-state capacity outside the timed window.
+			s.SampleManyInto(coll, opt.Count)
+			coll.Reset()
+			var msBefore, msAfter runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&msBefore)
+			start := time.Now()
+			s.SampleManyInto(coll, opt.Count)
+			secs := time.Since(start).Seconds()
+			runtime.ReadMemStats(&msAfter)
+			res := RRGenResult{
+				Parallelism:      p,
+				Batch:            bw,
+				Sets:             int64(coll.Count()),
+				TotalSize:        coll.TotalSize(),
+				Probes:           coll.EdgesExamined(),
+				Seconds:          secs,
+				SetsPerSec:       float64(coll.Count()) / secs,
+				ProbesPerSec:     float64(coll.EdgesExamined()) / secs,
+				AllocBytesPerSet: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(coll.Count()),
+			}
+			if rep.GOMAXPROCS < p {
+				res.Warning = fmt.Sprintf("GOMAXPROCS=%d caps the %d shards; speedup is bounded by the smaller", rep.GOMAXPROCS, p)
+			}
+			if base := find(1, bw); base != nil {
+				res.SpeedupVsP1 = res.SetsPerSec / base.SetsPerSec
+			} else if p == 1 {
+				res.SpeedupVsP1 = 1
+			}
+			if base := find(p, 1); base != nil {
+				res.SpeedupVsB1 = res.SetsPerSec / base.SetsPerSec
+			} else if bw == 1 {
+				res.SpeedupVsB1 = 1
+			}
+			rep.Results = append(rep.Results, res)
 		}
-		s, err := rrset.NewShardedSampler(g, opt.Model, opt.Seed, opt.Subset, p)
-		if err != nil {
-			return nil, err
-		}
-		coll := rrset.NewCollection(1 << 16)
-		// Warm up arenas and sampler scratch outside the timed window.
-		s.SampleManyInto(coll, min64(opt.Count/10, 5_000))
-		coll.Reset()
-		var msBefore, msAfter runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&msBefore)
-		start := time.Now()
-		s.SampleManyInto(coll, opt.Count)
-		secs := time.Since(start).Seconds()
-		runtime.ReadMemStats(&msAfter)
-		res := RRGenResult{
-			Parallelism:      p,
-			Sets:             int64(coll.Count()),
-			TotalSize:        coll.TotalSize(),
-			Probes:           coll.EdgesExamined(),
-			Seconds:          secs,
-			SetsPerSec:       float64(coll.Count()) / secs,
-			ProbesPerSec:     float64(coll.EdgesExamined()) / secs,
-			AllocBytesPerSet: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(coll.Count()),
-		}
-		if rep.GOMAXPROCS < p {
-			res.Warning = fmt.Sprintf("GOMAXPROCS=%d caps the %d shards; speedup is bounded by the smaller", rep.GOMAXPROCS, p)
-		}
-		if len(rep.Results) > 0 && rep.Results[0].Parallelism == 1 && !rep.Results[0].Skipped {
-			res.SpeedupVsP1 = res.SetsPerSec / rep.Results[0].SetsPerSec
-		} else if p == 1 {
-			res.SpeedupVsP1 = 1
-		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // WriteJSON writes the report, indented, to path.
@@ -164,11 +209,15 @@ func (r *RRGenReport) WriteJSON(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-// RRGen runs the throughput sweep at the harness's model/seed settings,
-// prints a table, and — when jsonPath is non-empty — records the report
-// machine-readably (BENCH_RRGEN.json).
-func (c Config) RRGen(jsonPath string) (*RRGenReport, error) {
-	return c.rrgen(RRGenOptions{Model: diffusion.IC, Seed: c.Seed}, jsonPath)
+// RRGen runs the throughput sweep, prints a table, and — when jsonPath
+// is non-empty — records the report machine-readably (BENCH_RRGEN.json).
+// Zero option fields take the sweep defaults; Model defaults to IC and
+// Seed to the harness seed.
+func (c Config) RRGen(opt RRGenOptions, jsonPath string) (*RRGenReport, error) {
+	if opt.Seed == 0 {
+		opt.Seed = c.Seed
+	}
+	return c.rrgen(opt, jsonPath)
 }
 
 func (c Config) rrgen(opt RRGenOptions, jsonPath string) (*RRGenReport, error) {
@@ -176,16 +225,17 @@ func (c Config) rrgen(opt RRGenOptions, jsonPath string) (*RRGenReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.printf("\n== RR-set generation throughput (sharded sampler, GOMAXPROCS=%d, %d CPUs) ==\n",
-		rep.GOMAXPROCS, rep.NumCPU)
-	c.printf("%4s %12s %12s %14s %12s %8s\n", "P", "sets", "sets/s", "probes/s", "alloc/set", "speedup")
+	c.printf("\n== RR-set generation throughput (sharded sampler, %s graph %d/%d, GOMAXPROCS=%d, %d CPUs) ==\n",
+		rep.GraphKind, rep.Nodes, rep.Edges, rep.GOMAXPROCS, rep.NumCPU)
+	c.printf("%4s %5s %12s %12s %14s %12s %8s %8s\n", "P", "B", "sets", "sets/s", "probes/s", "alloc/set", "vs P=1", "vs B=1")
 	for _, r := range rep.Results {
 		if r.Skipped {
-			c.printf("%4d %12s (%s)\n", r.Parallelism, "skipped", r.Warning)
+			c.printf("%4d %5d %12s (%s)\n", r.Parallelism, r.Batch, "skipped", r.Warning)
 			continue
 		}
-		c.printf("%4d %12s %12.0f %14.0f %10.1fB %7.2fx\n",
-			r.Parallelism, fmtCount(r.Sets), r.SetsPerSec, r.ProbesPerSec, r.AllocBytesPerSet, r.SpeedupVsP1)
+		c.printf("%4d %5d %12s %12.0f %14.0f %10.1fB %7.2fx %7.2fx\n",
+			r.Parallelism, r.Batch, fmtCount(r.Sets), r.SetsPerSec, r.ProbesPerSec,
+			r.AllocBytesPerSet, r.SpeedupVsP1, r.SpeedupVsB1)
 		if r.Warning != "" {
 			c.printf("     warning: %s\n", r.Warning)
 		}

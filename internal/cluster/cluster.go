@@ -57,6 +57,15 @@ type Metrics struct {
 	DeltaBytes  int64
 	// Rounds counts broadcast round trips.
 	Rounds int64
+	// GenCalls counts Generate broadcasts — the denominator for
+	// waves-per-generate-call (Batch.Waves / GenCalls).
+	GenCalls int64
+	// Batch aggregates the workers' frontier-batching counters (last
+	// reported cumulative value per worker, plus retired workers'
+	// contributions): waves, frontier items, lane occupancy and skipped
+	// edges, so batch-efficiency regressions are observable without
+	// touching the hot path. All zero when the scalar kernel runs.
+	Batch rrset.BatchStats
 }
 
 // add merges worker handler times for one broadcast round into the
@@ -174,6 +183,13 @@ type Cluster struct {
 	// quarantined connections so Metrics stays cumulative across swaps.
 	retiredSent int64
 	retiredRecv int64
+	// batchLast holds each worker's last reported cumulative batching
+	// counters; retiredBatch preserves quarantined workers' final values
+	// so Metrics stays cumulative across swaps (a failover replacement
+	// replays its predecessor's history, so overwriting the slot on its
+	// next report is the honest accounting).
+	batchLast    []rrset.BatchStats
+	retiredBatch rrset.BatchStats
 }
 
 // New wraps existing worker connections. numItems is the selectable-item
@@ -191,6 +207,7 @@ func New(conns []Conn, numItems int) (*Cluster, error) {
 		baseDeg:      make([]int64, numItems),
 		mergeScratch: make([]int32, numItems),
 		sequential:   runtime.GOMAXPROCS(0) == 1,
+		batchLast:    make([]rrset.BatchStats, len(conns)),
 	}, nil
 }
 
@@ -240,6 +257,10 @@ func (c *Cluster) Metrics() Metrics {
 	}
 	m.BytesSent += c.retiredSent
 	m.BytesReceived += c.retiredRecv
+	m.Batch = c.retiredBatch
+	for _, b := range c.batchLast {
+		m.Batch.Add(b)
+	}
 	return m
 }
 
@@ -412,10 +433,13 @@ func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
 		agg.Count += s.Count
 		agg.TotalSize += s.TotalSize
 		agg.EdgesExamined += s.EdgesExamined
+		agg.Batch.Add(s.Batch)
+		c.batchLast[i] = s.Batch
 		if counts[i] > 0 {
 			c.record(i, reqs[i], counts[i], 0)
 		}
 	}
+	c.met.GenCalls++
 	c.account("gen", wall, handlers)
 	if len(downs) > 0 {
 		extraLost := make(map[int]int64, len(downs))
@@ -584,6 +608,8 @@ func (c *Cluster) Stats() (GenerateStats, error) {
 			agg.Count += s.Count
 			agg.TotalSize += s.TotalSize
 			agg.EdgesExamined += s.EdgesExamined
+			agg.Batch.Add(s.Batch)
+			c.batchLast[i] = s.Batch
 		}
 		c.account("sel", wall, handlers)
 		return agg, nil

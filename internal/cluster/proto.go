@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"dimm/internal/checksum"
+	"dimm/internal/rrset"
 )
 
 // Request and response type tags.
@@ -48,6 +49,10 @@ type GenerateStats struct {
 	Count         int64 // RR sets now held by the worker
 	TotalSize     int64 // summed cardinality
 	EdgesExamined int64 // cumulative sampler edge probes (Σ w(R))
+	// Batch carries the worker's cumulative frontier-batching counters
+	// (all zero on the scalar kernel). Observability only: the sampled
+	// bytes are batch-invariant, so these never feed determinism checks.
+	Batch rrset.BatchStats
 }
 
 // --- primitive append/consume helpers -------------------------------------
@@ -221,12 +226,17 @@ func encodeAckResp(handlerNanos int64) []byte {
 }
 
 func encodeStatsResp(tag byte, handlerNanos int64, s GenerateStats) []byte {
-	b := make([]byte, 0, 1+8+24)
+	b := make([]byte, 0, 1+8+9*8)
 	b = append(b, tag)
 	b = appendI64(b, handlerNanos)
 	b = appendI64(b, s.Count)
 	b = appendI64(b, s.TotalSize)
 	b = appendI64(b, s.EdgesExamined)
+	b = appendI64(b, s.Batch.Cohorts)
+	b = appendI64(b, s.Batch.Waves)
+	b = appendI64(b, s.Batch.FrontierItems)
+	b = appendI64(b, s.Batch.LaneWaves)
+	b = appendI64(b, s.Batch.SkippedEdges)
 	return b
 }
 
@@ -336,7 +346,22 @@ func decodeStatsResp(b []byte) (int64, GenerateStats, error) {
 	if s.TotalSize, rest, err = consumeI64(rest); err != nil {
 		return 0, s, err
 	}
-	if s.EdgesExamined, _, err = consumeI64(rest); err != nil {
+	if s.EdgesExamined, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.Batch.Cohorts, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.Batch.Waves, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.Batch.FrontierItems, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.Batch.LaneWaves, rest, err = consumeI64(rest); err != nil {
+		return 0, s, err
+	}
+	if s.Batch.SkippedEdges, _, err = consumeI64(rest); err != nil {
 		return 0, s, err
 	}
 	return nanos, s, nil

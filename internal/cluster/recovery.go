@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"dimm/internal/rrset"
 )
 
 // This file is the guarantee-preserving failover layer (ISSUE 5). The
@@ -299,6 +301,8 @@ func (c *Cluster) quarantine(i int, cause error) {
 	}
 	c.dead[i] = true
 	c.lastErrs[i] = cause.Error()
+	c.retiredBatch.Add(c.batchLast[i])
+	c.batchLast[i] = rrset.BatchStats{}
 	if old := c.conns[i]; old != nil {
 		s, r := old.Bytes()
 		c.retiredSent += s

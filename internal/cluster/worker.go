@@ -35,6 +35,25 @@ type WorkerConfig struct {
 	// run must agree on P — while Select output is bit-identical at
 	// every P.
 	Parallelism int
+	// Batch is the frontier-batch width B of each generation shard
+	// (rrset.BatchSampler): how many RR traversals advance per adjacency
+	// pass. 0 selects rrset.DefaultBatch — safe, because the batched
+	// kernel's output is bit-identical to the scalar sampler's at every
+	// width, so B is a pure performance knob and, unlike Parallelism, is
+	// NOT part of the stream identity. 1 forces the scalar kernel.
+	Batch int
+}
+
+// ResolveBatch maps a Batch knob value to the effective sampler width:
+// 0 → rrset.DefaultBatch, anything below 1 → 1 (scalar).
+func ResolveBatch(b int) int {
+	if b == 0 {
+		return rrset.DefaultBatch
+	}
+	if b < 1 {
+		return 1
+	}
+	return b
 }
 
 // Worker is the slave-side state of Algorithm 1 and the distributed RIS
@@ -66,7 +85,28 @@ type Worker struct {
 	// sends only the coverage of *newly generated* RR sets.
 	reported int
 
+	// auxBatch accumulates the batching counters of the one-shot
+	// rebalance samplers (generateAux), which are discarded after use;
+	// the worker's stats replies report its resident sampler's counters
+	// plus this remainder.
+	auxBatch rrset.BatchStats
+
 	pairBuf []DeltaPair
+}
+
+// stats assembles the worker's cumulative collection and batching
+// statistics for a stats-bearing reply.
+func (w *Worker) stats() GenerateStats {
+	s := GenerateStats{
+		Count:         int64(w.coll.Count()),
+		TotalSize:     w.coll.TotalSize(),
+		EdgesExamined: w.coll.EdgesExamined(),
+		Batch:         w.auxBatch,
+	}
+	if w.sampler != nil {
+		s.Batch.Add(w.sampler.BatchStats())
+	}
+	return s
 }
 
 // NewWorker builds a worker. The graph may be nil for workers that only
@@ -77,7 +117,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		coll: rrset.NewCollection(1 << 16),
 	}
 	if cfg.Graph != nil {
-		s, err := rrset.NewShardedSampler(cfg.Graph, cfg.Model, cfg.Seed, cfg.Subset, cfg.Parallelism)
+		s, err := rrset.NewShardedSamplerBatch(cfg.Graph, cfg.Model, cfg.Seed, cfg.Subset, cfg.Parallelism, ResolveBatch(cfg.Batch))
 		if err != nil {
 			return nil, err
 		}
@@ -133,11 +173,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		w.sampler.SampleManyInto(w.coll, count)
 		// The index is NOT invalidated here: ensureIndex extends it
 		// incrementally over just the new RR sets (Index.AppendFrom).
-		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
-			Count:         int64(w.coll.Count()),
-			TotalSize:     w.coll.TotalSize(),
-			EdgesExamined: w.coll.EdgesExamined(),
-		}), nil
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), w.stats()), nil
 
 	case msgDegreeDelta:
 		pairs, err := w.degreeDelta()
@@ -164,11 +200,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		return encodeDeltasResp(time.Since(start).Nanoseconds(), pairs, w.numItems()), nil
 
 	case msgStats:
-		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
-			Count:         int64(w.coll.Count()),
-			TotalSize:     w.coll.TotalSize(),
-			EdgesExamined: w.coll.EdgesExamined(),
-		}), nil
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), w.stats()), nil
 
 	case msgReset:
 		w.coll = rrset.NewCollection(1 << 16)
@@ -222,11 +254,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		if err := w.generateAux(streamSeed, count); err != nil {
 			return nil, err
 		}
-		return encodeStatsResp(0, time.Since(start).Nanoseconds(), GenerateStats{
-			Count:         int64(w.coll.Count()),
-			TotalSize:     w.coll.TotalSize(),
-			EdgesExamined: w.coll.EdgesExamined(),
-		}), nil
+		return encodeStatsResp(0, time.Since(start).Nanoseconds(), w.stats()), nil
 
 	case msgCoverage:
 		seeds, err := decodeCoverageReq(req[1:])
@@ -325,7 +353,7 @@ func (w *Worker) generateAux(streamSeed uint64, count int64) error {
 	if count > maxGenerateBatch {
 		return fmt.Errorf("generation count %d exceeds the per-request cap %d", count, int64(maxGenerateBatch))
 	}
-	aux, err := rrset.NewShardedSampler(w.cfg.Graph, w.cfg.Model, streamSeed, w.cfg.Subset, w.cfg.Parallelism)
+	aux, err := rrset.NewShardedSamplerBatch(w.cfg.Graph, w.cfg.Model, streamSeed, w.cfg.Subset, w.cfg.Parallelism, ResolveBatch(w.cfg.Batch))
 	if err != nil {
 		return err
 	}
@@ -335,6 +363,7 @@ func (w *Worker) generateAux(streamSeed uint64, count int64) error {
 		}
 	}
 	aux.SampleManyInto(w.coll, count)
+	w.auxBatch.Add(aux.BatchStats())
 	return nil
 }
 

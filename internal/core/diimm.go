@@ -39,6 +39,11 @@ type Options struct {
 	// seed. AutoParallelism derives it from GOMAXPROCS/ℓ. Seed sets are a
 	// deterministic function of (Seed, Machines, Parallelism).
 	Parallelism int
+	// Batch is the frontier-batch width of each worker's RR sampling
+	// shards (rrset.BatchSampler). 0 selects rrset.DefaultBatch; 1 forces
+	// the scalar kernel. Unlike Parallelism, Batch never changes sampled
+	// bytes — it is a pure locality/throughput knob.
+	Batch int
 }
 
 // ResolveParallelism maps an Options.Parallelism value to the effective
@@ -146,6 +151,7 @@ func RunDIIMM(g *graph.Graph, opt Options) (*Result, error) {
 			Subset:      opt.Subset,
 			Seed:        cluster.DeriveSeed(opt.Seed, i),
 			Parallelism: par,
+			Batch:       opt.Batch,
 		}
 	}
 	cl, err := cluster.NewLocal(cfgs, g.NumNodes())

@@ -66,6 +66,7 @@ func RunDOPIMC(g *graph.Graph, opt Options) (*OPIMResult, error) {
 				Subset:      opt.Subset,
 				Seed:        cluster.DeriveSeed(opt.Seed^tag, i),
 				Parallelism: par,
+				Batch:       opt.Batch,
 			}
 		}
 		return cluster.NewLocal(cfgs, g.NumNodes())
@@ -99,7 +100,10 @@ func RunDOPIMC(g *graph.Graph, opt Options) (*OPIMResult, error) {
 		BytesSent:     m1.BytesSent + m2.BytesSent,
 		BytesReceived: m1.BytesReceived + m2.BytesReceived,
 		Rounds:        m1.Rounds + m2.Rounds,
+		GenCalls:      m1.GenCalls + m2.GenCalls,
 	}
+	merged.Batch.Add(m1.Batch)
+	merged.Batch.Add(m2.Batch)
 	return &OPIMResult{
 		OPIMResult: *res,
 		Metrics:    merged,

@@ -318,7 +318,59 @@ func TestGenCommunity(t *testing.T) {
 	}
 }
 
+func TestGenRMAT(t *testing.T) {
+	// 3000 is deliberately not a power of two: grid overhang must be
+	// resampled, not emitted as out-of-range ids.
+	g, err := GenRMAT(RMATConfig{GenConfig: GenConfig{Nodes: 3000, AvgDegree: 8, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 24000 {
+		t.Fatalf("edges = %d, want 24000", g.NumEdges())
+	}
+	csrConsistent(t, g)
+	selfLoops := 0
+	g.Edges(func(u, v uint32, _ float32) {
+		if u == v {
+			selfLoops++
+		}
+	})
+	if selfLoops != 0 {
+		t.Fatalf("%d self-loops emitted", selfLoops)
+	}
+	// The quadrant skew must produce a far heavier in-degree tail than the
+	// preferential generator's.
+	if g.MaxInDegree() < 20*int(g.AvgDegree()) {
+		t.Fatalf("max in-degree %d lacks R-MAT skew (avg %v)", g.MaxInDegree(), g.AvgDegree())
+	}
+}
+
+func TestGenRMATDeterministic(t *testing.T) {
+	a, _ := GenRMAT(RMATConfig{GenConfig: GenConfig{Nodes: 500, AvgDegree: 6, Seed: 9}})
+	b, _ := GenRMAT(RMATConfig{GenConfig: GenConfig{Nodes: 500, AvgDegree: 6, Seed: 9}})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	var ea, eb []Edge
+	a.Edges(func(u, v uint32, p float32) { ea = append(ea, Edge{u, v, p}) })
+	b.Edges(func(u, v uint32, p float32) { eb = append(eb, Edge{u, v, p}) })
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
 func TestGeneratorErrors(t *testing.T) {
+	if _, err := GenRMAT(RMATConfig{GenConfig: GenConfig{Nodes: 1, AvgDegree: 2}}); err == nil {
+		t.Fatal("1-node R-MAT accepted")
+	}
+	if _, err := GenRMAT(RMATConfig{GenConfig: GenConfig{Nodes: 10, AvgDegree: 2}, A: 0.6, B: 0.3, C: 0.2}); err == nil {
+		t.Fatal("quadrant probabilities summing past 1 accepted")
+	}
 	if _, err := GenPreferential(GenConfig{Nodes: 1, AvgDegree: 2}); err == nil {
 		t.Fatal("1-node PA accepted")
 	}

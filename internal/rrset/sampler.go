@@ -8,13 +8,52 @@ import (
 	"dimm/internal/xrand"
 )
 
+// Scratch-shrink policy. One pathological RR set can balloon the BFS
+// queue (and, in the batched kernel, the per-lane member/frontier
+// arenas) to millions of entries; Go's append never releases capacity,
+// so without a valve that worst case is retained for the sampler's
+// lifetime. Every shrinkWindow samples the sampler compares retained
+// capacity against the window's peak demand and reallocates when the
+// slack factor is exceeded, so steady-state capacity tracks the recent
+// workload instead of the all-time outlier.
+const (
+	shrinkWindow = 64   // samples between shrink decisions
+	shrinkSlack  = 8    // keep capacity while cap ≤ slack × window peak
+	shrinkMinCap = 1024 // never shrink below the initial capacity
+)
+
+// shrinkScratch returns buf, or a smaller replacement when its capacity
+// exceeds shrinkSlack times the recent peak demand. The returned slice
+// has length 0; callers must only invoke it between samples.
+func shrinkScratch[T any](buf []T, peak int) []T {
+	keep := shrinkSlack * peak
+	if keep < shrinkMinCap {
+		keep = shrinkMinCap
+	}
+	if cap(buf) <= keep {
+		return buf[:0]
+	}
+	want := 2 * peak
+	if want < shrinkMinCap {
+		want = shrinkMinCap
+	}
+	return make([]T, 0, want)
+}
+
 // Sampler generates random RR sets on one graph (Definition 1 of the
 // paper). It owns reusable scratch state (epoch-stamped visited array,
 // BFS queue), so per-sample allocation is zero once warm. Not safe for
 // concurrent use; each machine owns one Sampler.
+//
+// Randomness is organized in counter-based lanes: RR set number t (a
+// lifetime counter, reset by Seed) draws from the generator stream
+// xrand.LaneSeed(base, t), and within an IC traversal the coins for node
+// u's in-edge scan come from the stream xrand.ScanSeed(lane, u). Every
+// draw is therefore a pure function of (base, t, node visited), never of
+// traversal interleaving — which is what allows BatchSampler to advance
+// many sets per adjacency pass and still emit bit-identical output.
 type Sampler struct {
 	g     *graph.Graph
-	r     *xrand.Rand
 	model diffusion.Model
 
 	// subset enables the SUBSIM subset-sampling optimization for IC: when
@@ -29,9 +68,17 @@ type Sampler struct {
 	// Σ_v w(v)·Pr[S activates v] = W·Pr[S ∩ R ≠ ∅], W = Σ w(v).
 	roots *xrand.Alias
 
+	base   uint64     // stream seed; RR set t uses lane xrand.LaneSeed(base, t)
+	setCtr uint64     // lifetime RR-set counter
+	lane   xrand.Rand // per-set generator: root draw and the LT walk
+	scan   xrand.Rand // per-(set, node) generator: IC in-edge coins
+
 	visited []uint32
 	epoch   uint32
 	queue   []uint32
+
+	peakSize int // largest RR set in the current shrink window
+	window   int // samples since the last shrink decision
 }
 
 // NewSampler returns an RR-set sampler for the given model. subset selects
@@ -48,16 +95,21 @@ func NewSampler(g *graph.Graph, model diffusion.Model, seed uint64, subset bool)
 	}
 	return &Sampler{
 		g:       g,
-		r:       xrand.New(seed),
+		base:    seed,
 		model:   model,
 		subset:  subset,
 		visited: make([]uint32, g.NumNodes()),
-		queue:   make([]uint32, 0, 1024),
+		queue:   make([]uint32, 0, shrinkMinCap),
 	}, nil
 }
 
-// Seed reseeds the sampler's generator (used by tests for reproducibility).
-func (s *Sampler) Seed(seed uint64) { s.r.Seed(seed) }
+// Seed resets the sampler to the beginning of the stream identified by
+// seed: the set counter rewinds, so the next sample is set 0 of that
+// stream (used by tests for reproducibility).
+func (s *Sampler) Seed(seed uint64) {
+	s.base = seed
+	s.setCtr = 0
+}
 
 // SetRootWeights switches the sampler to targeted mode: RR-set roots are
 // drawn proportionally to weights (length n, non-negative, positive sum).
@@ -91,21 +143,31 @@ func (s *Sampler) nextEpoch() {
 // SampleInto generates one random RR set and appends it to c. It returns
 // the cardinality of the new set and the number of incoming edges probed.
 func (s *Sampler) SampleInto(c *Collection) (size int, probes int64) {
+	laneSeed := xrand.LaneSeed(s.base, s.setCtr)
+	s.setCtr++
+	s.lane.Seed(laneSeed)
 	var root uint32
 	if s.roots != nil {
-		root = uint32(s.roots.Sample(s.r))
+		root = uint32(s.roots.Sample(&s.lane))
 	} else {
-		root = uint32(s.r.Uint32n(uint32(s.g.NumNodes())))
+		root = s.lane.Uint32n(uint32(s.g.NumNodes()))
 	}
 	switch s.model {
 	case diffusion.IC:
-		size, probes = s.sampleIC(root)
+		size, probes = s.sampleIC(root, laneSeed)
 	case diffusion.LT:
 		size, probes = s.sampleLT(root)
 	default:
 		panic(fmt.Sprintf("rrset: unknown model %v", s.model))
 	}
 	c.Append(s.queue[:size], probes)
+	if size > s.peakSize {
+		s.peakSize = size
+	}
+	if s.window++; s.window >= shrinkWindow {
+		s.queue = shrinkScratch(s.queue, s.peakSize)
+		s.peakSize, s.window = 0, 0
+	}
 	return size, probes
 }
 
@@ -119,7 +181,13 @@ func (s *Sampler) SampleManyInto(c *Collection, count int64) {
 // sampleIC performs the stochastic reverse BFS of §III-A: starting from
 // root, each incoming edge <u',u> is traversed with probability p(u',u).
 // The visited nodes (left in s.queue) form the RR set.
-func (s *Sampler) sampleIC(root uint32) (int, int64) {
+//
+// Every edge coin is flipped, even when the far endpoint is already in
+// the set. Flipping a coin whose outcome cannot matter is distributionally
+// a no-op (the coins are independent), but it makes the number and order
+// of draws per node scan a fixed function of (lane, node) — the invariant
+// the batched kernel relies on.
+func (s *Sampler) sampleIC(root uint32, laneSeed uint64) (int, int64) {
 	s.nextEpoch()
 	s.queue = s.queue[:0]
 	s.visited[root] = s.epoch
@@ -131,12 +199,13 @@ func (s *Sampler) sampleIC(root uint32) (int, int64) {
 		if len(adj) == 0 {
 			continue
 		}
+		s.scan.Seed(xrand.ScanSeed(laneSeed, u))
 		if s.subset {
 			// All incoming probabilities of u are equal; jump straight to
 			// the successful flips. Expected probes = 1 + d·p instead of d.
 			p := float64(prob[0])
 			if p > 0 {
-				i := s.r.Geometric(p)
+				i := s.scan.Geometric(p)
 				for i < len(adj) {
 					probes++
 					up := adj[i]
@@ -144,7 +213,7 @@ func (s *Sampler) sampleIC(root uint32) (int, int64) {
 						s.visited[up] = s.epoch
 						s.queue = append(s.queue, up)
 					}
-					i += 1 + s.r.Geometric(p)
+					i += 1 + s.scan.Geometric(p)
 				}
 			}
 			probes++ // the terminating jump
@@ -152,10 +221,7 @@ func (s *Sampler) sampleIC(root uint32) (int, int64) {
 		}
 		for i, up := range adj {
 			probes++
-			if s.visited[up] == s.epoch {
-				continue
-			}
-			if s.r.Float64() < float64(prob[i]) {
+			if s.scan.Float64() < float64(prob[i]) && s.visited[up] != s.epoch {
 				s.visited[up] = s.epoch
 				s.queue = append(s.queue, up)
 			}
@@ -167,7 +233,9 @@ func (s *Sampler) sampleIC(root uint32) (int, int64) {
 // sampleLT performs the reverse random walk of §III-A: from the current
 // node u the walk stops with probability 1 − Σ p(·,u), otherwise moves to
 // an in-neighbor drawn proportionally to its edge weight; it also stops on
-// revisiting a node. The visited nodes form the RR set.
+// revisiting a node. The visited nodes form the RR set. All draws come
+// from the set's lane generator: the walk is inherently sequential, so a
+// batched kernel advances it one step per wave on the same stream.
 func (s *Sampler) sampleLT(root uint32) (int, int64) {
 	s.nextEpoch()
 	s.queue = s.queue[:0]
@@ -181,7 +249,7 @@ func (s *Sampler) sampleLT(root uint32) (int, int64) {
 			break
 		}
 		sum := s.g.InProbSum(u)
-		x := s.r.Float64()
+		x := s.lane.Float64()
 		if x >= sum {
 			probes++
 			break

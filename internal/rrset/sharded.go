@@ -9,8 +9,23 @@ import (
 	"dimm/internal/xrand"
 )
 
+// shardSampler is the per-shard generation engine: either a scalar
+// Sampler or a frontier-batched BatchSampler. Both sample the same
+// stream for the same seed, byte for byte, so the choice is purely a
+// performance knob.
+type shardSampler interface {
+	SampleManyInto(c *Collection, count int64)
+	setRoots(a *xrand.Alias)
+	batchStats() BatchStats
+}
+
+func (s *Sampler) setRoots(a *xrand.Alias)      { s.roots = a }
+func (s *Sampler) batchStats() BatchStats       { return BatchStats{} }
+func (s *BatchSampler) setRoots(a *xrand.Alias) { s.roots = a }
+func (s *BatchSampler) batchStats() BatchStats  { return s.Stats() }
+
 // ShardedSampler fans RR-set generation across P shard samplers, each a
-// private Sampler with its own RNG stream and scratch state, generating
+// private sampler with its own RNG stream and scratch state, generating
 // into a private arena Collection. It parallelizes the per-machine share
 // of distributed RIS (Corollary 1 concentrates that share at total/ℓ;
 // intra-worker shards split it again by P) the way gIM and the Intel
@@ -23,28 +38,51 @@ import (
 // shard outputs are merged in ascending shard order — so a fixed
 // (seed, P) yields a byte-identical collection regardless of goroutine
 // scheduling. P = 1 runs the seed's stream directly on the caller's
-// goroutine and is bit-identical to a plain Sampler.
+// goroutine and is bit-identical to a plain Sampler. The frontier-batch
+// width (batching *within* each shard) never changes output bytes, so it
+// is not part of the determinism fingerprint.
 type ShardedSampler struct {
-	shards []*Sampler
+	g      *graph.Graph
+	shards []shardSampler
 	bufs   []*Collection // per-shard merge buffers, reused across rounds
+	batch  int
 }
 
-// NewShardedSampler returns a sampler running parallelism shard streams.
-// Values below 1 are treated as 1 (sequential).
+// NewShardedSampler returns a sampler running parallelism scalar shard
+// streams. Values below 1 are treated as 1 (sequential).
 func NewShardedSampler(g *graph.Graph, model diffusion.Model, seed uint64, subset bool, parallelism int) (*ShardedSampler, error) {
+	return NewShardedSamplerBatch(g, model, seed, subset, parallelism, 1)
+}
+
+// NewShardedSamplerBatch is NewShardedSampler with a frontier-batch
+// width: each shard advances up to batch RR traversals per adjacency
+// pass (see BatchSampler). batch ≤ 1 selects the scalar kernel; output
+// bytes are identical either way.
+func NewShardedSamplerBatch(g *graph.Graph, model diffusion.Model, seed uint64, subset bool, parallelism, batch int) (*ShardedSampler, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	ss := &ShardedSampler{
-		shards: make([]*Sampler, parallelism),
+		g:      g,
+		shards: make([]shardSampler, parallelism),
 		bufs:   make([]*Collection, parallelism),
+		batch:  batch,
 	}
 	for i := range ss.shards {
 		shardSeed := seed
 		if parallelism > 1 {
 			shardSeed = xrand.MachineSeed(seed, i)
 		}
-		s, err := NewSampler(g, model, shardSeed, subset)
+		var s shardSampler
+		var err error
+		if batch > 1 {
+			s, err = NewBatchSampler(g, model, shardSeed, subset, batch)
+		} else {
+			s, err = NewSampler(g, model, shardSeed, subset)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -57,25 +95,38 @@ func NewShardedSampler(g *graph.Graph, model diffusion.Model, seed uint64, subse
 // Parallelism returns P, the number of shard streams.
 func (ss *ShardedSampler) Parallelism() int { return len(ss.shards) }
 
+// Batch returns the frontier-batch width each shard runs at (1 = scalar).
+func (ss *ShardedSampler) Batch() int { return ss.batch }
+
+// BatchStats returns the summed batching counters across shards. All
+// zeros when the scalar kernel is selected.
+func (ss *ShardedSampler) BatchStats() BatchStats {
+	var total BatchStats
+	for _, s := range ss.shards {
+		total.Add(s.batchStats())
+	}
+	return total
+}
+
 // SetRootWeights switches every shard to targeted mode (weighted RR-set
 // roots). The alias table is built once and shared read-only across
 // shards. Pass nil to return to uniform roots.
 func (ss *ShardedSampler) SetRootWeights(weights []float64) error {
 	if weights == nil {
 		for _, s := range ss.shards {
-			s.roots = nil
+			s.setRoots(nil)
 		}
 		return nil
 	}
-	if len(weights) != ss.shards[0].g.NumNodes() {
-		return fmt.Errorf("rrset: %d root weights for %d nodes", len(weights), ss.shards[0].g.NumNodes())
+	if len(weights) != ss.g.NumNodes() {
+		return fmt.Errorf("rrset: %d root weights for %d nodes", len(weights), ss.g.NumNodes())
 	}
 	a, err := xrand.NewAlias(weights)
 	if err != nil {
 		return err
 	}
 	for _, s := range ss.shards {
-		s.roots = a
+		s.setRoots(a)
 	}
 	return nil
 }
@@ -105,7 +156,7 @@ func (ss *ShardedSampler) SampleManyInto(c *Collection, count int64) {
 			continue
 		}
 		wg.Add(1)
-		go func(s *Sampler, buf *Collection, n int64) {
+		go func(s shardSampler, buf *Collection, n int64) {
 			defer wg.Done()
 			s.SampleManyInto(buf, n)
 		}(ss.shards[i], buf, n)

@@ -52,6 +52,12 @@ type Config struct {
 	Machines int
 	// Parallelism is the per-worker shard count (see core.Options).
 	Parallelism int
+	// Batch is the frontier-batch width of each worker's sampling shards
+	// (see core.Options.Batch): 0 selects rrset.DefaultBatch, 1 the
+	// scalar kernel. Not part of the checkpoint fingerprint — the
+	// sampled bytes are batch-invariant, so a checkpoint written at one
+	// width restores correctly at any other.
+	Batch int
 
 	// KMax bounds the admissible query seed-set size (default 50).
 	KMax int
@@ -198,6 +204,7 @@ type Service struct {
 	cfg    Config
 	n      int
 	par    int // resolved worker parallelism, reused by query-time selection
+	batch  int // resolved frontier-batch width of the workers' samplers
 	budget core.SampleBudget
 
 	// clusterMu serializes all RPCs on the warm clusters (the cluster
@@ -247,6 +254,15 @@ type serviceCounters struct {
 	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
 
 	degraded atomic.Int64 // requests refused 503 for lost worker capacity
+
+	// batchMu guards the last-seen cumulative batch counters reported by
+	// the two clusters' workers. The grower overwrites them after every
+	// Generate broadcast; Stats() only reads, so a snapshot never waits
+	// on an in-flight grow round's RPCs.
+	batchMu  sync.Mutex
+	batch1   rrset.BatchStats // R1 cluster, cumulative since startup
+	batch2   rrset.BatchStats // R2 cluster, cumulative since startup
+	genCalls int64            // Generate broadcasts issued by the grower
 }
 
 // New builds the service and its warm clusters. The resident sample
@@ -282,6 +298,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
 	s.par = par
+	s.batch = cluster.ResolveBatch(cfg.Batch)
 
 	// Open the durable store (and restore from it) before the clusters
 	// exist: a restore determines the stream salt the workers are seeded
@@ -342,6 +359,7 @@ func New(cfg Config) (*Service, error) {
 					Subset:      cfg.Subset,
 					Seed:        cluster.DeriveSeed(cfg.Seed^tag^salt, i),
 					Parallelism: par,
+					Batch:       cfg.Batch,
 				}
 			}
 			cl, err := cluster.NewLocal(cfgs, n)
@@ -558,13 +576,21 @@ func (s *Service) grow(fromEpoch uint64) error {
 	new2 := rrset.NewCollection(1 << 12)
 	s.clusterMu.Lock()
 	err := func() error {
-		if _, err := s.c1.Generate(add); err != nil {
+		st1, err := s.c1.Generate(add)
+		if err != nil {
 			return fmt.Errorf("serve: growing R1: %w", err)
 		}
-		if _, err := s.c2.Generate(add); err != nil {
+		st2, err := s.c2.Generate(add)
+		if err != nil {
 			return fmt.Errorf("serve: growing R2: %w", err)
 		}
-		var err error
+		// The workers report batch counters cumulative since their start,
+		// so overwrite (not add) the per-cluster last-seen values.
+		s.stats.batchMu.Lock()
+		s.stats.batch1 = st1.Batch
+		s.stats.batch2 = st2.Batch
+		s.stats.genCalls += 2
+		s.stats.batchMu.Unlock()
 		if s.fetched1, err = s.c1.FetchNew(s.fetched1, new1); err != nil {
 			return fmt.Errorf("serve: fetching R1 increment: %w", err)
 		}
@@ -685,6 +711,20 @@ type Stats struct {
 	CheckpointErrors  int64   `json:"checkpoint_errors"`
 	CheckpointSeconds float64 `json:"checkpoint_seconds"`
 
+	// Batched-sampling figures, aggregated over both clusters' workers:
+	// how effectively the frontier-batched kernel amortized adjacency
+	// reads while growing the resident sample (all zero with -batch 1).
+	// WavesPerGenerate is Batch.Waves over generate broadcasts;
+	// FrontierOccupancy is LaneWaves/(Waves·B) — the fraction of the
+	// batch still alive while waves ran.
+	BatchWidth        int     `json:"batch_width"`
+	BatchCohorts      int64   `json:"batch_cohorts"`
+	BatchWaves        int64   `json:"batch_waves"`
+	BatchItems        int64   `json:"batch_frontier_items"`
+	SkippedEdges      int64   `json:"batch_skipped_edges"`
+	WavesPerGenerate  float64 `json:"batch_waves_per_generate"`
+	FrontierOccupancy float64 `json:"batch_frontier_occupancy"`
+
 	// Fault-tolerance figures: per-worker liveness and retry/redial/
 	// failover counters for the two clusters, and how many requests were
 	// refused 503 because worker capacity was lost.
@@ -743,9 +783,25 @@ func (s *Service) Stats() Stats {
 		Degraded:  s.stats.degraded.Load(),
 
 		InFlight: int64(len(s.sem)),
-		Rejected:          s.http.rejected.Load(),
-		Uptime:            time.Since(s.http.started).Seconds(),
-		Endpoint:          s.http.snapshot(),
+		Rejected: s.http.rejected.Load(),
+		Uptime:   time.Since(s.http.started).Seconds(),
+		Endpoint: s.http.snapshot(),
+	}
+	s.stats.batchMu.Lock()
+	batch := s.stats.batch1
+	batch.Add(s.stats.batch2)
+	genCalls := s.stats.genCalls
+	s.stats.batchMu.Unlock()
+	st.BatchWidth = s.batch
+	st.BatchCohorts = batch.Cohorts
+	st.BatchWaves = batch.Waves
+	st.BatchItems = batch.FrontierItems
+	st.SkippedEdges = batch.SkippedEdges
+	if genCalls > 0 {
+		st.WavesPerGenerate = float64(batch.Waves) / float64(genCalls)
+	}
+	if batch.Waves > 0 && s.batch > 0 {
+		st.FrontierOccupancy = float64(batch.LaneWaves) / (float64(batch.Waves) * float64(s.batch))
 	}
 	return st
 }

@@ -147,3 +147,26 @@ func MachineSeed(base uint64, machine int) uint64 {
 	s := base ^ (0x5851f42d4c957f2d * (uint64(machine) + 1))
 	return splitMix64(&s)
 }
+
+// LaneSeed derives the RNG lane for RR set number `set` (a lifetime
+// counter, 0-based) of the stream identified by base. Giving every RR set
+// its own counter-derived lane makes the draws consumed by set t a pure
+// function of (base, t): a batched sampler can interleave many in-flight
+// sets in any order and still reproduce the scalar sampler's output
+// bit for bit.
+func LaneSeed(base, set uint64) uint64 {
+	s := base ^ (0xbf58476d1ce4e5b9 * (set + 1))
+	return splitMix64(&s)
+}
+
+// ScanSeed derives the generator seed for the in-edge scan of one node
+// inside one RR-set lane. Keying the scan by (lane, node) — rather than
+// drawing from a sequential per-set stream — makes every edge coin a pure
+// function of (lane, node, edge index), independent of the order in which
+// a traversal happens to visit nodes. That order-invariance is what lets
+// a level-synchronous batched kernel group many frontiers' scans of the
+// same adjacency block without perturbing any set's coins.
+func ScanSeed(lane uint64, node uint32) uint64 {
+	s := lane ^ (0x94d049bb133111eb * (uint64(node) + 1))
+	return splitMix64(&s)
+}
