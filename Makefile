@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault
+.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault bench-sketch
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages: sharded RR generation, the parallel
-# select kernel, the cluster transports, the query service, and the
-# durable store run under the race detector.
+# select kernel, the cluster transports, the query service, the sketch
+# tier (node-sharded absorbs), and the durable store run under the race
+# detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/rrset/... ./internal/serve/... ./internal/store/...
+	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/rrset/... ./internal/serve/... ./internal/sketch/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -53,3 +54,9 @@ bench-store:
 # post-recovery p50/p99 on this box).
 bench-fault:
 	$(GO) run ./cmd/experiments -run fault
+
+# Regenerates BENCH_SKETCH.json (fast sketch tier vs certified tier:
+# /v1/spread QPS/p50/p99 at equal concurrency, sketch build cost, and
+# fast/certified top-k seed agreement on this box).
+bench-sketch:
+	$(GO) run ./cmd/experiments -run sketch

@@ -78,6 +78,8 @@ func main() {
 		epsFloor = flag.Float64("eps-floor", 0.1, "tightest admissible query epsilon")
 		delta    = flag.Float64("delta", 0, "service-lifetime failure probability (0 = 1/n)")
 
+		sketchK = flag.Int("sketch-k", 0, "bottom-k size of the ?mode=fast sketch tier (0 = default, negative disables the tier)")
+
 		cacheSize   = flag.Int("cache", 256, "LRU capacity for recent (k, eps) answers (negative disables)")
 		maxInFlight = flag.Int("max-inflight", 64, "concurrently admitted query requests; excess get 429")
 		warm        = flag.Bool("warm", false, "grow the resident sample for the hardest admissible query before accepting traffic")
@@ -114,6 +116,7 @@ func main() {
 		Machines:      *machines,
 		Parallelism:   parOpt(*parallelism),
 		Batch:         *batch,
+		SketchK:       *sketchK,
 		KMax:          *kMax,
 		EpsFloor:      *epsFloor,
 		Delta:         *delta,
@@ -142,6 +145,13 @@ func main() {
 			st.Epoch, st.Theta, st.RestoredEpochs, *checkpointDir)
 	} else if *restore {
 		log.Printf("restore: no checkpoint in %s, cold start", *checkpointDir)
+	}
+	if st := svc.Stats(); st.SketchK > 0 {
+		src := "rebuilt from the resident sample"
+		if st.SketchRestored {
+			src = "restored from the checkpoint"
+		}
+		log.Printf("fast tier: bottom-%d sketches over %d instances (%s)", st.SketchK, st.SketchTheta, src)
 	}
 
 	if *warm {

@@ -51,7 +51,11 @@ func main() {
 			log.Fatal(err)
 		}
 		printInfo(info)
-		fmt.Printf("verify: all %d segments OK\n", len(info.Epochs))
+		extra := ""
+		if info.Sketch != nil {
+			extra = " + sketch"
+		}
+		fmt.Printf("verify: all %d segments%s OK\n", len(info.Epochs), extra)
 
 	case "prune":
 		removed, err := store.Prune(dir)
@@ -105,6 +109,11 @@ func printInfo(info *store.Info) {
 	for _, e := range info.Epochs {
 		fmt.Printf("    epoch %-4d %s  %d+%d sets  %d bytes  crc %08x\n",
 			e.Epoch, e.File, e.R1Sets, e.R2Sets, e.Bytes, e.CRC)
+	}
+	if sk := info.Sketch; sk != nil {
+		fmt.Printf("  sketch       bottom-%d seed=%d theta=%d\n", sk.K, sk.Seed, sk.Theta)
+		fmt.Printf("    epoch %-4d %s  %d bytes  crc %08x\n",
+			sk.Epoch, sk.File, sk.Bytes, sk.CRC)
 	}
 	for _, o := range info.Orphans {
 		fmt.Printf("  orphan       %s (not in manifest; dimmstore prune removes it)\n", o)

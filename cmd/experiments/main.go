@@ -36,7 +36,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,all (rrgen, select, serve, store and fault only run when named)")
+		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,sketch,all (rrgen, select, serve, store, fault and sketch only run when named)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k         = flag.Int("k", 50, "seed set size")
 		eps       = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -67,6 +67,13 @@ func main() {
 		serveOut  = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
 		faultOut  = flag.String("fault-out", "BENCH_FAULT.json", "JSON output path for -run fault (empty = print only)")
 		storeOut  = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
+
+		sketchOut      = flag.String("sketch-out", "BENCH_SKETCH.json", "JSON output path for -run sketch (empty = print only)")
+		sketchNodes    = flag.Int("sketch-nodes", 0, "graph size for -run sketch (0 = bench default)")
+		sketchK        = flag.Int("sketch-k", 0, "bottom-k size for -run sketch (0 = service default)")
+		sketchConc     = flag.Int("sketch-conc", 0, "client concurrency for -run sketch (0 = bench default)")
+		sketchFastReqs = flag.Int("sketch-fast-reqs", 0, "fast-tier spread requests for -run sketch (0 = bench default)")
+		sketchCertReqs = flag.Int("sketch-cert-reqs", 0, "certified spread requests for -run sketch (0 = bench default)")
 	)
 	flag.Parse()
 
@@ -202,6 +209,18 @@ func main() {
 	if want["fault"] {
 		if _, err := cfg.Fault(*faultOut); err != nil {
 			log.Fatalf("fault: %v", err)
+		}
+	}
+	if want["sketch"] {
+		opt := bench.SketchOptions{
+			Nodes:        *sketchNodes,
+			SketchK:      *sketchK,
+			Concurrency:  *sketchConc,
+			FastRequests: *sketchFastReqs,
+			CertRequests: *sketchCertReqs,
+		}
+		if _, err := cfg.Sketch(*sketchOut, opt); err != nil {
+			log.Fatalf("sketch: %v", err)
 		}
 	}
 }

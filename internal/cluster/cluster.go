@@ -55,6 +55,14 @@ type Metrics struct {
 	DeltaFrames int64
 	DeltaPairs  int64
 	DeltaBytes  int64
+	// SketchBuilds/SketchBuildTime account the master-side bottom-k
+	// sketch maintenance of the serving fast tier (internal/sketch):
+	// how many incremental build passes ran over this cluster's RR
+	// output and their summed wall time. Master-side like MasterCompute,
+	// but reported separately so the sketch tier's cost is visible next
+	// to the generation it rides on.
+	SketchBuilds    int64
+	SketchBuildTime time.Duration
 	// Rounds counts broadcast round trips.
 	Rounds int64
 	// GenCalls counts Generate broadcasts — the denominator for
@@ -1027,3 +1035,11 @@ func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 
 // AddMasterCompute lets the selection driver account bucket-scan time.
 func (c *Cluster) AddMasterCompute(d time.Duration) { c.met.MasterCompute += d }
+
+// AddSketchBuild lets the serving layer account one incremental sketch
+// build pass over this cluster's RR output (the fast tier's analogue of
+// AddMasterCompute).
+func (c *Cluster) AddSketchBuild(d time.Duration) {
+	c.met.SketchBuilds++
+	c.met.SketchBuildTime += d
+}

@@ -7,6 +7,7 @@ import (
 	"dimm/internal/coverage"
 	"dimm/internal/imm"
 	"dimm/internal/rrset"
+	"dimm/internal/sketch"
 )
 
 // This file is the query-time API of the resident serving path
@@ -73,6 +74,91 @@ func SelectFromSample(c *rrset.Collection, idx *rrset.Index, n, k, parallelism i
 	}
 	o.SetParallelism(parallelism)
 	return coverage.RunGreedy(o, k)
+}
+
+// SelectFromSampleCandidates runs the same exact lazy-bucket greedy but
+// restricted to a candidate pool: non-candidates keep a zero marginal
+// throughout, so the selection is exactly what full greedy would return
+// whenever every pick it makes lies inside the pool. The serving fast
+// tier uses this with a sketch-ranked pool — O(|candidates|) live heap
+// entries instead of O(n) — and the usual certificate machinery then
+// measures what the restriction cost.
+func SelectFromSampleCandidates(c *rrset.Collection, idx *rrset.Index, n, k, parallelism int, candidates []uint32) (*coverage.Result, error) {
+	if c == nil || idx == nil {
+		return nil, fmt.Errorf("core: select from nil sample")
+	}
+	o, err := coverage.NewLocalOracle(c, idx, n)
+	if err != nil {
+		return nil, err
+	}
+	o.SetParallelism(parallelism)
+	allow := make([]bool, n)
+	for _, v := range candidates {
+		if int(v) >= n {
+			return nil, fmt.Errorf("core: candidate %d outside the %d-node graph", v, n)
+		}
+		allow[v] = true
+	}
+	return coverage.RunGreedy(&candidateOracle{inner: o, allow: allow}, k)
+}
+
+// candidateOracle masks a coverage oracle down to a candidate pool:
+// outside degrees start at zero and outside deltas are dropped, so the
+// bucket scan never sees (or drives negative) a non-candidate.
+type candidateOracle struct {
+	inner coverage.Oracle
+	allow []bool
+}
+
+func (o *candidateOracle) NumItems() int { return o.inner.NumItems() }
+
+func (o *candidateOracle) InitialDegrees() ([]int64, error) {
+	deg, err := o.inner.InitialDegrees()
+	if err != nil {
+		return nil, err
+	}
+	for v := range deg {
+		if !o.allow[v] {
+			deg[v] = 0
+		}
+	}
+	return deg, nil
+}
+
+func (o *candidateOracle) Select(u uint32) ([]coverage.Delta, error) {
+	deltas, err := o.inner.Select(u)
+	if err != nil {
+		return nil, err
+	}
+	kept := deltas[:0]
+	for _, d := range deltas {
+		if o.allow[d.Node] {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// DefaultSketchK is the bottom-k size the serving fast tier defaults
+// to: a ≈ 1/√62 ≈ 13% relative standard error per estimate at 8·64
+// bytes per covered node, small enough that sketch maintenance
+// disappears next to RR generation.
+const DefaultSketchK = 64
+
+// BuildSketch folds the RR sets the snapshot gained since the sketch's
+// last build into the resident bottom-k sketch tier (internal/sketch),
+// sharded parallelism ways over the node space. The sketch is a pure
+// function of the snapshot prefix and the sketch params at any
+// parallelism, the same determinism contract as RR generation itself.
+// Returns how many instances were absorbed.
+func BuildSketch(sk *sketch.Set, snap rrset.Snapshot, parallelism int) int {
+	if sk == nil {
+		return 0
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return sk.Absorb(snap, parallelism)
 }
 
 // CertifySelection computes the per-query OPIM-C certificate for a seed

@@ -5,10 +5,14 @@ import (
 	"sync"
 )
 
-// answerCache is a small LRU of recent answers keyed by (k, ε). Entries
-// are invalidated wholesale when the resident sample grows (a new epoch
-// can only improve certificates, and serving mixed-epoch answers would
-// break the answers-are-deterministic-per-epoch contract).
+// answerCache is a small LRU of recent answers keyed by (k, ε, mode).
+// Entries are invalidated wholesale when the resident sample grows (a
+// new epoch can only improve certificates, and serving mixed-epoch
+// answers would break the answers-are-deterministic-per-epoch
+// contract). The mode is part of the key because the fast and certified
+// tiers select seeds differently: letting a sketch-ranked answer alias
+// a certified one (or vice versa) would silently swap the guarantee the
+// client asked for.
 type answerCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -18,8 +22,9 @@ type answerCache struct {
 }
 
 type cacheKey struct {
-	k   int
-	eps float64
+	k    int
+	eps  float64
+	mode Mode
 }
 
 type cacheEntry struct {
@@ -38,13 +43,13 @@ func newAnswerCache(capacity int) *answerCache {
 	}
 }
 
-func (c *answerCache) get(k int, eps float64) (*Answer, bool) {
+func (c *answerCache) get(k int, eps float64, mode Mode) (*Answer, bool) {
 	if c.cap == 0 {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[cacheKey{k, eps}]
+	el, ok := c.byKey[cacheKey{k, eps, mode}]
 	if !ok {
 		return nil, false
 	}
@@ -55,7 +60,7 @@ func (c *answerCache) get(k int, eps float64) (*Answer, bool) {
 // put stores an answer, evicting stale epochs first: a growth between
 // this answer's selection and an older cached one makes the older one
 // unreachable anyway (queries re-resolve on the new epoch).
-func (c *answerCache) put(k int, eps float64, ans *Answer) {
+func (c *answerCache) put(k int, eps float64, mode Mode, ans *Answer) {
 	if c.cap == 0 {
 		return
 	}
@@ -69,7 +74,7 @@ func (c *answerCache) put(k int, eps float64, ans *Answer) {
 		clear(c.byKey)
 		c.epoch = ans.Epoch
 	}
-	key := cacheKey{k, eps}
+	key := cacheKey{k, eps, mode}
 	if el, ok := c.byKey[key]; ok {
 		el.Value.(*cacheEntry).ans = ans
 		c.order.MoveToFront(el)

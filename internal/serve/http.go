@@ -50,6 +50,10 @@ func (s *Service) instrument(name string, gated bool, h func(http.ResponseWriter
 				defer func() { <-s.sem }()
 			default:
 				s.http.rejected.Add(1)
+				// RFC 6585 says a 429 SHOULD tell the client when to come
+				// back; admission-control rejections clear as soon as an
+				// in-flight request finishes, so the minimum granularity.
+				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusTooManyRequests,
 					errBody{Error: "server at capacity, retry later"})
 				return
@@ -106,13 +110,17 @@ type seedsRequest struct {
 }
 
 func (s *Service) handleSeeds(w http.ResponseWriter, r *http.Request) error {
+	mode, err := ParseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		return err
+	}
 	var req seedsRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
 	}
-	ans, err := s.Query(req.K, req.Eps)
+	ans, err := s.QueryMode(req.K, req.Eps, mode)
 	if err != nil {
 		return err
 	}
@@ -122,9 +130,14 @@ func (s *Service) handleSeeds(w http.ResponseWriter, r *http.Request) error {
 
 type spreadResponse struct {
 	Seeds  []uint32 `json:"seeds"`
-	Rounds int64    `json:"rounds"`
+	Mode   Mode     `json:"mode"`
+	Rounds int64    `json:"rounds,omitempty"`
 	Mean   float64  `json:"mean"`
 	Stderr float64  `json:"stderr"`
+	// RelStderr is set on fast-mode answers: the sketch estimator's
+	// relative standard error ≈ 1/√(K−2) (the absolute Stderr field is
+	// Mean·RelStderr, kept for client compatibility).
+	RelStderr float64 `json:"rel_stderr,omitempty"`
 }
 
 func (s *Service) handleSpread(w http.ResponseWriter, r *http.Request) error {
@@ -142,6 +155,23 @@ func (s *Service) handleSpread(w http.ResponseWriter, r *http.Request) error {
 		}
 		seeds = append(seeds, uint32(v))
 	}
+	mode, err := ParseMode(q.Get("mode"))
+	if err != nil {
+		return err
+	}
+	if mode == ModeFast {
+		// The fast tier answers from the resident sketches alone — no
+		// Monte-Carlo rounds, no worker RPCs, no RR-sample lock.
+		est, rel, err := s.SpreadSketch(seeds)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, spreadResponse{
+			Seeds: seeds, Mode: ModeFast, Mean: est,
+			Stderr: est * rel, RelStderr: rel,
+		})
+		return nil
+	}
 	rounds := int64(10_000)
 	if rs := q.Get("rounds"); rs != "" {
 		v, err := strconv.ParseInt(rs, 10, 64)
@@ -154,6 +184,6 @@ func (s *Service) handleSpread(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, spreadResponse{Seeds: seeds, Rounds: rounds, Mean: mean, Stderr: stderr})
+	writeJSON(w, http.StatusOK, spreadResponse{Seeds: seeds, Mode: ModeCertified, Rounds: rounds, Mean: mean, Stderr: stderr})
 	return nil
 }

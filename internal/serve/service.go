@@ -35,6 +35,7 @@ import (
 	"dimm/internal/graph"
 	"dimm/internal/imm"
 	"dimm/internal/rrset"
+	"dimm/internal/sketch"
 	"dimm/internal/store"
 )
 
@@ -58,6 +59,14 @@ type Config struct {
 	// sampled bytes are batch-invariant, so a checkpoint written at one
 	// width restores correctly at any other.
 	Batch int
+
+	// SketchK sets the bottom-k size of the resident sketch tier backing
+	// ?mode=fast queries (internal/sketch): 0 selects
+	// core.DefaultSketchK, negative disables the fast tier entirely.
+	// The sketch rides on the same RR instances the certificates use and
+	// rebuilds incrementally after every growth epoch; it never affects
+	// certified answers.
+	SketchK int
 
 	// KMax bounds the admissible query seed-set size (default 50).
 	KMax int
@@ -131,11 +140,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Mode selects which query tier answers: the certified path (default,
+// full OPIM-C machinery, the (1 − 1/e − ε) guarantee) or the fast path
+// (seeds pre-ranked by the bottom-k sketch tier, then verified by the
+// same certificate machinery before being served).
+type Mode string
+
+const (
+	ModeCertified Mode = "certified"
+	ModeFast      Mode = "fast"
+)
+
+// ParseMode maps the ?mode= query value onto a Mode; empty selects
+// certified, so existing clients keep their exact behavior.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", string(ModeCertified):
+		return ModeCertified, nil
+	case string(ModeFast):
+		return ModeFast, nil
+	}
+	return "", badQueryf("serve: unknown mode %q (want fast|certified)", s)
+}
+
 // Answer is one served seed-set query.
 type Answer struct {
 	K     int      `json:"k"`
 	Eps   float64  `json:"eps"`
 	Seeds []uint32 `json:"seeds"`
+
+	// Mode records which tier selected the seeds. Both tiers' answers
+	// carry a certificate; only certified-mode selection is the exact
+	// greedy the (1 − 1/e − ε) analysis covers (see DESIGN.md).
+	Mode Mode `json:"mode"`
 
 	// Epoch identifies the resident-sample generation the answer was
 	// computed on; Theta is that sample's size (per collection).
@@ -150,6 +187,10 @@ type Answer struct {
 	Ratio       float64 `json:"ratio"`
 	// EstSpread is the unbiased point estimate n·cov2/θ from R2.
 	EstSpread float64 `json:"est_spread"`
+	// SketchSpread is the fast tier's own σ estimate for the answer's
+	// seeds (zero on certified answers): n·union/θ over the bottom-k
+	// sketches, relative standard error ≈ 1/√(K−2).
+	SketchSpread float64 `json:"sketch_spread,omitempty"`
 
 	// GrowRounds counts the doubling rounds this query triggered (0 = the
 	// resident sample was reused as-is). Cached marks an LRU hit.
@@ -225,6 +266,15 @@ type Service struct {
 	// queue on it and re-check the epoch afterwards.
 	growMu sync.Mutex
 
+	// sketchMu guards the fast tier's bottom-k sketch set, separately
+	// from mu so ?mode=fast spread reads never touch the RR sample's
+	// lock: any number of fast readers proceed while a certified query
+	// holds mu, and only the grower (already serialized by growMu)
+	// write-locks it to absorb a growth epoch. nil sk = tier disabled.
+	sketchMu   sync.RWMutex
+	sk         *sketch.Set
+	skRestored bool
+
 	cache *answerCache
 	sem   chan struct{} // admission-control slots (HTTP layer)
 
@@ -254,6 +304,18 @@ type serviceCounters struct {
 	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
 
 	degraded atomic.Int64 // requests refused 503 for lost worker capacity
+
+	// Fast-tier accounting: sketch build passes and their wall time,
+	// estimator evaluations served, fast-mode queries per endpoint, and
+	// the fast/certified agreement samples collected whenever both
+	// tiers answered the same (k, ε) on the same epoch.
+	skBuilds     atomic.Int64
+	skBuildNanos atomic.Int64
+	skEstimates  atomic.Int64
+	fastSeeds    atomic.Int64
+	fastSpreads  atomic.Int64
+	agreeChecked atomic.Int64
+	agreeMatched atomic.Int64
 
 	// batchMu guards the last-seen cumulative batch counters reported by
 	// the two clusters' workers. The grower overwrites them after every
@@ -299,6 +361,17 @@ func New(cfg Config) (*Service, error) {
 	par := core.ResolveParallelism(cfg.Parallelism, cfg.Machines)
 	s.par = par
 	s.batch = cluster.ResolveBatch(cfg.Batch)
+	if cfg.SketchK >= 0 {
+		kk := cfg.SketchK
+		if kk == 0 {
+			kk = core.DefaultSketchK
+		}
+		// The sketch's rank stream gets its own split of the base seed,
+		// like the 0x0111/0x0222 split that keeps R1 and R2 independent.
+		if s.sk, err = sketch.New(n, sketch.Params{K: kk, Seed: cfg.Seed ^ 0x0333}); err != nil {
+			return nil, err
+		}
+	}
 
 	// Open the durable store (and restore from it) before the clusters
 	// exist: a restore determines the stream salt the workers are seeded
@@ -339,6 +412,19 @@ func New(cfg Config) (*Service, error) {
 				// start, so non-restored runs keep their exact historic
 				// streams (and stay bit-identical with pre-store builds).
 				salt = res.Epoch * 0x9E3779B97F4A7C15
+				// Adopt the stored sketch only when it matches this config's
+				// sketch parameters and does not claim more instances than
+				// the restored sample holds; anything else (different K,
+				// different seed, stale record) falls back to a rebuild —
+				// a sketch is always recomputable from the RR sample.
+				if s.sk != nil {
+					if rsk, _, skErr := st.RestoreSketch(n); skErr == nil &&
+						rsk.Verify(n, sketch.Params{K: s.sk.K(), Seed: s.sk.Seed()}) == nil &&
+						rsk.Theta() <= int64(res.R1.Count()) {
+						s.sk = rsk
+						s.skRestored = true
+					}
+				}
 			} else if !errors.Is(err, store.ErrNoCheckpoint) {
 				return nil, err
 			}
@@ -393,6 +479,10 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	// Catch the sketch up to whatever the restore produced (a no-op on a
+	// cold start, an incremental absorb when the stored sketch lags the
+	// stored sample, a full build when only the sample restored).
+	s.updateSketch()
 	return s, nil
 }
 
@@ -431,13 +521,28 @@ func (s *Service) EpsFloor() float64 { return s.cfg.EpsFloor }
 // certificate the worst-case-sized sample supports (the IMM guarantee
 // still applies to it with probability 1 − δ).
 func (s *Service) Query(k int, eps float64) (*Answer, error) {
+	return s.QueryMode(k, eps, ModeCertified)
+}
+
+// QueryMode answers a query on the requested tier. Certified is Query.
+// Fast pre-ranks the seeds with the bottom-k sketch tier (O(k·K) merges
+// instead of a greedy pass over the RR index), then runs the same
+// certificate machinery over those seeds and only grows the resident
+// sample when the certificate falls short of 1 − 1/e − ε. Fast answers
+// therefore still carry a sound spread lower bound; what they give up is
+// the greedy-selection premise of the (1 − 1/e − ε) analysis (see
+// DESIGN.md).
+func (s *Service) QueryMode(k int, eps float64, mode Mode) (*Answer, error) {
 	if k < 1 || k > s.cfg.KMax {
 		return nil, badQueryf("serve: k=%d outside [1, kmax=%d]", k, s.cfg.KMax)
 	}
 	if eps < s.cfg.EpsFloor || eps >= 1 {
 		return nil, badQueryf("serve: eps=%v outside [floor=%v, 1)", eps, s.cfg.EpsFloor)
 	}
-	if ans, ok := s.cache.get(k, eps); ok {
+	if mode == ModeFast && s.sk == nil {
+		return nil, badQueryf("serve: fast tier disabled (sketch-k < 0)")
+	}
+	if ans, ok := s.cache.get(k, eps, mode); ok {
 		s.stats.queries.Add(1)
 		s.stats.cacheHits.Add(1)
 		hit := *ans
@@ -447,7 +552,16 @@ func (s *Service) Query(k int, eps float64) (*Answer, error) {
 	target := 1 - 1/math.E - eps
 	grew := 0
 	for {
-		ans, done, err := s.tryServe(k, eps, target, grew)
+		var (
+			ans  *Answer
+			done bool
+			err  error
+		)
+		if mode == ModeFast {
+			ans, done, err = s.tryServeFast(k, eps, target, grew)
+		} else {
+			ans, done, err = s.tryServe(k, eps, target, grew)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -478,7 +592,7 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 		s.mu.RUnlock()
 		return nil, false, err
 	}
-	cov2s := s.prefixCoverageOn2Locked(sel.Seeds)
+	cov2s := prefixCoverage(s.idx2, s.r2.Count(), sel.Seeds)
 	s.mu.RUnlock()
 
 	// Certify every greedy prefix, not just the queried k. Small prefixes
@@ -505,6 +619,7 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 		K:           k,
 		Eps:         eps,
 		Seeds:       sel.Seeds,
+		Mode:        ModeCertified,
 		Epoch:       epoch,
 		Theta:       theta,
 		SpreadLower: cert.SpreadLower,
@@ -513,7 +628,8 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 		EstSpread:   float64(s.n) * float64(cov2) / float64(theta),
 		GrowRounds:  grew,
 	}
-	s.cache.put(k, eps, ans)
+	s.cache.put(k, eps, ModeCertified, ans)
+	s.noteAgreement(ans)
 	s.stats.queries.Add(1)
 	if grew == 0 {
 		s.stats.reuseHits.Add(1)
@@ -521,16 +637,17 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 	return ans, true, nil
 }
 
-// prefixCoverageOn2Locked returns, for each greedy prefix Seeds[:i+1],
-// the number of R2 sets it covers, via the R2 inverted index and a
-// per-query mark array. Caller holds mu (read).
-func (s *Service) prefixCoverageOn2Locked(seeds []uint32) []int64 {
-	mark := make([]bool, s.r2.Count())
+// prefixCoverage returns, for each prefix seeds[:i+1], the number of the
+// index's RR sets it covers, via the inverted index and a per-query mark
+// array sized count. Caller holds mu (read); both tiers' certification
+// paths share it.
+func prefixCoverage(idx *rrset.Index, count int, seeds []uint32) []int64 {
+	mark := make([]bool, count)
 	out := make([]int64, len(seeds))
 	var covered int64
 	for i, u := range seeds {
-		for si := 0; si < s.idx2.NumSegments(); si++ {
-			for _, j := range s.idx2.SegCovers(si, u) {
+		for si := 0; si < idx.NumSegments(); si++ {
+			for _, j := range idx.SegCovers(si, u) {
 				if !mark[j] {
 					mark[j] = true
 					covered++
@@ -540,6 +657,140 @@ func (s *Service) prefixCoverageOn2Locked(seeds []uint32) []int64 {
 		out[i] = covered
 	}
 	return out
+}
+
+// sketchCandidatePool sizes the fast tier's sketch-ranked candidate
+// shortlist: wide enough that exact greedy's picks virtually never fall
+// outside it (the pruning error the estimator's ≈ 1/√(K−2) noise can
+// cause), narrow enough that restricted selection stays O(k) in live
+// candidates instead of O(n).
+func sketchCandidatePool(k, n int) int {
+	c := 16 * k
+	if c < 64 {
+		c = 64
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// tryServeFast is tryServe's fast-tier counterpart: the bottom-k
+// sketches rank a candidate shortlist (under sketchMu only), exact
+// greedy runs over the RR sample restricted to that shortlist, and the
+// same certificate machinery verifies the outcome — actual prefix
+// coverages on R1 feed the OPT upper bound, R2 the spread lower bound.
+// done=false means the certificate fell short and the caller should grow
+// (which also re-absorbs the new instances into the sketch, so the next
+// attempt re-ranks on fresher estimates).
+func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, bool, error) {
+	s.sketchMu.RLock()
+	skTheta := s.sk.Theta()
+	var cands []uint32
+	var evals int
+	if skTheta > 0 {
+		cands, evals = s.sk.TopCandidates(sketchCandidatePool(k, s.n))
+	}
+	s.sketchMu.RUnlock()
+	s.stats.skEstimates.Add(int64(evals))
+
+	s.mu.RLock()
+	epoch := s.epoch
+	theta := int64(s.r1.Count())
+	if skTheta == 0 || theta == 0 || len(cands) == 0 {
+		s.mu.RUnlock()
+		return &Answer{Epoch: epoch}, false, nil // cold: growth builds the sketch
+	}
+	sel, err := core.SelectFromSampleCandidates(s.r1, s.idx1, s.n, k, s.par, cands)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, false, err
+	}
+	seeds := sel.Seeds
+	cov2s := prefixCoverage(s.idx2, s.r2.Count(), seeds)
+	s.mu.RUnlock()
+
+	// The sketch's own spread estimate for the answer, for clients that
+	// want to compare the tiers (and the bench agreement sweep).
+	s.sketchMu.RLock()
+	skSpread, unionEvals := s.sk.EstimateSpreadSet(seeds)
+	s.sketchMu.RUnlock()
+	s.stats.skEstimates.Add(int64(unionEvals))
+
+	var cert imm.Certificate
+	allPass := true
+	var cov1 int64
+	for i := 0; i < k; i++ {
+		cov1 += sel.Marginals[i]
+		cert = core.CertifySelection(s.n, theta, cov1, cov2s[i], s.budget.TailMass)
+		if cert.Ratio < target {
+			allPass = false
+		}
+	}
+	if !allPass && theta < s.budget.ThetaMax {
+		return &Answer{Epoch: epoch}, false, nil
+	}
+	ans := &Answer{
+		K:            k,
+		Eps:          eps,
+		Seeds:        seeds,
+		Mode:         ModeFast,
+		Epoch:        epoch,
+		Theta:        theta,
+		SpreadLower:  cert.SpreadLower,
+		OptUpper:     cert.OptUpper,
+		Ratio:        cert.Ratio,
+		EstSpread:    float64(s.n) * float64(cov2s[k-1]) / float64(theta),
+		SketchSpread: skSpread,
+		GrowRounds:   grew,
+	}
+	s.cache.put(k, eps, ModeFast, ans)
+	s.noteAgreement(ans)
+	s.stats.queries.Add(1)
+	s.stats.fastSeeds.Add(1)
+	if grew == 0 {
+		s.stats.reuseHits.Add(1)
+	}
+	return ans, true, nil
+}
+
+// noteAgreement samples fast/certified seed-set agreement: whenever the
+// other tier's answer to the same (k, ε) on the same epoch is still
+// cached, compare the seed sets (order-insensitively — the tiers rank
+// differently but the set is what a client acts on). The running ratio
+// is exported on /statsz and measured offline by bench -run sketch.
+func (s *Service) noteAgreement(ans *Answer) {
+	if s.sk == nil {
+		return
+	}
+	other := ModeCertified
+	if ans.Mode == ModeCertified {
+		other = ModeFast
+	}
+	peer, ok := s.cache.get(ans.K, ans.Eps, other)
+	if !ok || peer.Epoch != ans.Epoch {
+		return
+	}
+	s.stats.agreeChecked.Add(1)
+	if sameSeedSet(ans.Seeds, peer.Seeds) {
+		s.stats.agreeMatched.Add(1)
+	}
+}
+
+func sameSeedSet(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	for _, v := range b {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // grow extends the resident sample by one doubling round (θ → 2θ, or to
@@ -633,8 +884,36 @@ func (s *Service) grow(fromEpoch uint64) error {
 	if err != nil {
 		return err
 	}
+	s.updateSketch()
 	s.maybeCheckpoint()
 	return nil
+}
+
+// updateSketch absorbs the RR instances appended since the last absorb
+// into the fast tier's bottom-k sketches. Runs after growth with the
+// epoch write lock already released: the snapshot is immutable, so
+// certified readers proceed while the sketch rebuilds, and fast readers
+// block only on sketchMu for the absorb itself. No-op when the tier is
+// disabled or nothing was appended.
+func (s *Service) updateSketch() {
+	if s.sk == nil {
+		return
+	}
+	s.mu.RLock()
+	snap := s.r1.Snapshot()
+	s.mu.RUnlock()
+	s.sketchMu.Lock()
+	start := time.Now()
+	added := core.BuildSketch(s.sk, snap, s.par)
+	d := time.Since(start)
+	s.sketchMu.Unlock()
+	if added > 0 {
+		s.stats.skBuilds.Add(1)
+		s.stats.skBuildNanos.Add(d.Nanoseconds())
+		s.clusterMu.Lock()
+		s.c1.AddSketchBuild(d)
+		s.clusterMu.Unlock()
+	}
 }
 
 // maybeCheckpoint appends the RR sets this growth epoch produced to the
@@ -659,6 +938,54 @@ func (s *Service) maybeCheckpoint() {
 		s.stats.ckptEpochs.Add(1)
 		s.stats.ckptBytes.Add(n)
 	}
+	if s.sk != nil {
+		// The sketch segment is superseded, not appended: it is a pure
+		// function of (params, absorbed prefix), so only the newest one
+		// matters. Same failure policy as the RR checkpoint — the
+		// in-memory sketch is authoritative.
+		s.sketchMu.RLock()
+		start = time.Now()
+		nsk, err := s.st.CheckpointSketch(s.epoch, s.sk)
+		s.sketchMu.RUnlock()
+		s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+		if err != nil {
+			s.stats.ckptErrors.Add(1)
+			return
+		}
+		s.stats.ckptBytes.Add(nsk)
+	}
+}
+
+// SpreadSketch estimates σ(seeds) from the bottom-k sketches alone —
+// GET /v1/spread?mode=fast. It never touches the RR sample, its lock, or
+// the worker clusters: the only synchronization is sketchMu (read), so
+// fast spread reads proceed at full concurrency while certified queries
+// select, grow, or checkpoint. Returns the estimate and the estimator's
+// relative standard error ≈ 1/√(K−2).
+func (s *Service) SpreadSketch(seeds []uint32) (est, relStdErr float64, err error) {
+	if s.sk == nil {
+		return 0, 0, badQueryf("serve: fast tier disabled (sketch-k < 0)")
+	}
+	if len(seeds) == 0 {
+		return 0, 0, badQueryf("serve: empty seed set")
+	}
+	for _, u := range seeds {
+		if int(u) >= s.n {
+			return 0, 0, badQueryf("serve: seed %d outside the %d-node graph", u, s.n)
+		}
+	}
+	s.sketchMu.RLock()
+	defer s.sketchMu.RUnlock()
+	if s.sk.Theta() == 0 {
+		return 0, 0, &DegradedError{
+			RetryAfter: time.Second,
+			Err:        fmt.Errorf("serve: sketch tier cold: no RR instances absorbed yet (query or warm first)"),
+		}
+	}
+	est, evals := s.sk.EstimateSpreadSet(seeds)
+	s.stats.skEstimates.Add(int64(evals))
+	s.stats.fastSpreads.Add(1)
+	return est, s.sk.RelStdErr(), nil
 }
 
 // Spread estimates σ(seeds) by forward Monte-Carlo simulation on the
@@ -700,6 +1027,21 @@ type Stats struct {
 	ReuseHits  int64 `json:"reuse_hits"`
 	GrowRounds int64 `json:"grow_rounds"`
 	Generated  int64 `json:"generated"`
+
+	// Fast-tier figures: the sketch's configuration and progress (zero
+	// K = tier disabled), build passes and their wall time, estimator
+	// evaluations served, per-endpoint fast-mode query counts, and the
+	// running fast/certified seed-set agreement sample.
+	SketchK            int     `json:"sketch_k"`
+	SketchTheta        int64   `json:"sketch_theta"`
+	SketchRestored     bool    `json:"sketch_restored"`
+	SketchBuilds       int64   `json:"sketch_builds"`
+	SketchBuildSeconds float64 `json:"sketch_build_seconds"`
+	SketchEstimates    int64   `json:"sketch_estimates"`
+	FastSeedQueries    int64   `json:"fast_seed_queries"`
+	FastSpreadQueries  int64   `json:"fast_spread_queries"`
+	FastAgreeChecked   int64   `json:"fast_agree_checked"`
+	FastAgreeMatched   int64   `json:"fast_agree_matched"`
 
 	// Durable-store figures: what startup replayed and what the
 	// checkpoint hook has written since (all zero with no CheckpointDir).
@@ -768,6 +1110,15 @@ func (s *Service) Stats() Stats {
 		GrowRounds:  s.stats.growRounds.Load(),
 		Generated:   s.stats.generated.Load(),
 
+		SketchRestored:     s.skRestored,
+		SketchBuilds:       s.stats.skBuilds.Load(),
+		SketchBuildSeconds: float64(s.stats.skBuildNanos.Load()) / 1e9,
+		SketchEstimates:    s.stats.skEstimates.Load(),
+		FastSeedQueries:    s.stats.fastSeeds.Load(),
+		FastSpreadQueries:  s.stats.fastSpreads.Load(),
+		FastAgreeChecked:   s.stats.agreeChecked.Load(),
+		FastAgreeMatched:   s.stats.agreeMatched.Load(),
+
 		Restored:          s.restoredTheta > 0,
 		RestoredEpochs:    s.restoredEpochs,
 		RestoredTheta:     s.restoredTheta,
@@ -786,6 +1137,12 @@ func (s *Service) Stats() Stats {
 		Rejected: s.http.rejected.Load(),
 		Uptime:   time.Since(s.http.started).Seconds(),
 		Endpoint: s.http.snapshot(),
+	}
+	if s.sk != nil {
+		s.sketchMu.RLock()
+		st.SketchK = s.sk.K()
+		st.SketchTheta = s.sk.Theta()
+		s.sketchMu.RUnlock()
 	}
 	s.stats.batchMu.Lock()
 	batch := s.stats.batch1

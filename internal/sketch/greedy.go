@@ -1,0 +1,106 @@
+package sketch
+
+import "container/heap"
+
+// SelectGreedy picks q seeds by lazy greedy over sketch-estimated
+// marginal gains: the node maximizing the estimated union increase is
+// taken each round, with stale heap entries re-evaluated against the
+// current merged sketch before they can win (CELF). Estimated gains are
+// not exactly submodular — the certificate machinery downstream is what
+// makes the fast tier's answers trustworthy — but the selection itself
+// is deterministic: ties break toward the smaller node id, and every
+// gain is a pure function of the sketch bytes.
+//
+// Returns the seeds, the estimated union coverage after each prefix,
+// and the number of estimator evaluations spent.
+func (s *Set) SelectGreedy(q int) (seeds []uint32, covEst []float64, evals int) {
+	if q < 1 {
+		return nil, nil, 0
+	}
+	if q > s.n {
+		q = s.n
+	}
+	h := gainHeap{ents: make([]gainEnt, 0, s.n)}
+	for v := 0; v < s.n; v++ {
+		if s.size[v] == 0 {
+			continue
+		}
+		h.ents = append(h.ents, gainEnt{gain: s.EstimateCovers(uint32(v)), v: uint32(v)})
+		evals++
+	}
+	heap.Init(&h)
+
+	seeds = make([]uint32, 0, q)
+	covEst = make([]float64, 0, q)
+	cur := make([]uint64, 0, s.k)
+	scratch := make([]uint64, 0, s.k)
+	var curEst float64
+	for len(seeds) < q && h.Len() > 0 {
+		top := h.ents[0]
+		if int(top.round) != len(seeds) {
+			// Stale gain from an earlier round: re-estimate the marginal
+			// against the current union and push it back.
+			scratch = mergeInto(scratch, cur, s.nodeRanks(top.v), s.k)
+			g := s.estFromMerged(scratch) - curEst
+			evals++
+			if g < 0 {
+				g = 0
+			}
+			h.ents[0].gain = g
+			h.ents[0].round = int32(len(seeds))
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		seeds = append(seeds, top.v)
+		scratch = mergeInto(scratch, cur, s.nodeRanks(top.v), s.k)
+		cur, scratch = scratch, cur
+		curEst = s.estFromMerged(cur)
+		evals++
+		covEst = append(covEst, curEst)
+	}
+	// Degenerate graphs can hold fewer covered nodes than q; pad with the
+	// smallest unchosen ids so callers always get q seeds (their marginal
+	// is an estimated zero either way).
+	if len(seeds) < q {
+		in := make(map[uint32]bool, len(seeds))
+		for _, v := range seeds {
+			in[v] = true
+		}
+		for v := uint32(0); len(seeds) < q; v++ {
+			if !in[v] {
+				seeds = append(seeds, v)
+				covEst = append(covEst, curEst)
+			}
+		}
+	}
+	return seeds, covEst, evals
+}
+
+type gainEnt struct {
+	gain  float64
+	v     uint32
+	round int32 // the selection round the gain was computed in
+}
+
+// gainHeap is a max-heap on (gain, then smaller node id) — the id
+// tie-break keeps selection deterministic when estimates collide.
+type gainHeap struct{ ents []gainEnt }
+
+func (h *gainHeap) Len() int { return len(h.ents) }
+func (h *gainHeap) Less(i, j int) bool {
+	a, b := h.ents[i], h.ents[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.v < b.v
+}
+func (h *gainHeap) Swap(i, j int)      { h.ents[i], h.ents[j] = h.ents[j], h.ents[i] }
+func (h *gainHeap) Push(x any)         { h.ents = append(h.ents, x.(gainEnt)) }
+func (h *gainHeap) Pop() any {
+	old := h.ents
+	n := len(old)
+	x := old[n-1]
+	h.ents = old[:n-1]
+	return x
+}

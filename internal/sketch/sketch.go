@@ -1,0 +1,255 @@
+// Package sketch implements per-node bottom-k combined reachability
+// sketches over the same simulated diffusion instances the RR-set
+// machinery samples (Cohen et al., "Sketch-based Influence Maximization
+// and Computation"). RR set j is one reverse diffusion instance rooted
+// at a uniform node: node v appears in set j exactly when v would have
+// reached that root in instance j. A node's influence is therefore
+// proportional to how many instances contain it — the quantity the
+// resident service's greedy selection counts exactly — and a bottom-k
+// sketch of each node's instance set answers the same question in O(k)
+// instead of O(coverage).
+//
+// Every instance j gets a uniform 64-bit rank that is a pure function of
+// (rank seed, j) (xrand.SketchRank); node v's sketch keeps the k
+// smallest ranks among the instances containing v. The classic bottom-k
+// estimator then recovers |instances containing v| as (k−1)/τ where τ is
+// the k-th smallest rank mapped to (0, 1], exact below k, with relative
+// standard error ≈ 1/√(k−2). Sketches of different nodes merge by
+// rank, so seed-set (union) influence and greedy marginal gains come
+// from the same O(k) merge — no second pass over the instances.
+//
+// A Set is built incrementally: Absorb consumes only the instances
+// appended since the previous call, mirroring rrset.Index.AppendFrom.
+// Because ranks are order-invariant, an Absorb sharded P ways over the
+// node space inserts every (node, rank) pair in the same ascending-j
+// order at any P, so the sketch bytes are identical at any parallelism.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dimm/internal/rrset"
+	"dimm/internal/xrand"
+)
+
+// Params pins a sketch to its configuration: the bottom-k size and the
+// rank-stream seed. Two sketches are comparable (mergeable, resumable)
+// only when both match.
+type Params struct {
+	// K is the bottom-k size. Estimate quality is ≈ 1/√(K−2) relative
+	// standard error; K must be at least 2.
+	K int
+	// Seed keys the instance→rank stream (xrand.SketchRank).
+	Seed uint64
+}
+
+// Set holds one bottom-k sketch per node of an n-node graph, in arena
+// storage (one flat rank array, stride K) for the same O(1)-GC-objects
+// reason as rrset.Collection. A Set is not safe for concurrent
+// mutation; concurrent readers are safe between Absorb calls.
+type Set struct {
+	n     int
+	k     int
+	seed  uint64
+	theta int64 // diffusion instances absorbed so far (ids [0, theta))
+
+	size  []int32  // per node: ranks held, ≤ k
+	ranks []uint64 // node v's ranks at [v*k, v*k+size[v]), ascending
+}
+
+// New returns an empty sketch set for an n-node graph.
+func New(n int, p Params) (*Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sketch: graph size %d", n)
+	}
+	if p.K < 2 {
+		return nil, fmt.Errorf("sketch: bottom-k size %d below the estimator's minimum 2", p.K)
+	}
+	return &Set{
+		n:     n,
+		k:     p.K,
+		seed:  p.Seed,
+		size:  make([]int32, n),
+		ranks: make([]uint64, n*p.K),
+	}, nil
+}
+
+// N returns the node-space size the sketch covers.
+func (s *Set) N() int { return s.n }
+
+// K returns the bottom-k size.
+func (s *Set) K() int { return s.k }
+
+// Seed returns the rank-stream seed.
+func (s *Set) Seed() uint64 { return s.seed }
+
+// Theta returns how many diffusion instances the sketch has absorbed.
+func (s *Set) Theta() int64 { return s.theta }
+
+// RelStdErr returns the estimator's relative standard error, ≈ 1/√(k−2).
+func (s *Set) RelStdErr() float64 {
+	if s.k <= 2 {
+		return 1
+	}
+	return 1 / math.Sqrt(float64(s.k-2))
+}
+
+// Absorb folds the instances [Theta(), snap.Count()) of the R1 snapshot
+// into the per-node sketches and returns how many it consumed.
+// parallelism shards the node space; the resulting sketch bytes are
+// identical at every setting (see the package comment). The snapshot
+// must extend the one previous Absorb calls saw — instances are
+// identified by their position.
+func (s *Set) Absorb(snap rrset.Snapshot, parallelism int) int {
+	from := int(s.theta)
+	count := snap.Count()
+	if count <= from {
+		return 0
+	}
+	if parallelism <= 1 || s.n < 2*parallelism {
+		s.absorbRange(snap, from, count, 0, uint32(s.n))
+	} else {
+		// Shard by node range: every shard scans all new instances but
+		// inserts only members in its range, so each (size, ranks) slot
+		// has exactly one writer and per-node insertion order stays
+		// ascending in j — deterministic and race-free at any P.
+		var wg sync.WaitGroup
+		chunk := (s.n + parallelism - 1) / parallelism
+		for p := 0; p < parallelism; p++ {
+			lo := p * chunk
+			if lo >= s.n {
+				break
+			}
+			hi := lo + chunk
+			if hi > s.n {
+				hi = s.n
+			}
+			wg.Add(1)
+			go func(lo, hi uint32) {
+				defer wg.Done()
+				s.absorbRange(snap, from, count, lo, hi)
+			}(uint32(lo), uint32(hi))
+		}
+		wg.Wait()
+	}
+	s.theta = int64(count)
+	return count - from
+}
+
+// absorbRange inserts instances [from, count) for nodes in [lo, hi).
+func (s *Set) absorbRange(snap rrset.Snapshot, from, count int, lo, hi uint32) {
+	for j := from; j < count; j++ {
+		r := xrand.SketchRank(s.seed, uint64(j))
+		for _, v := range snap.Set(j) {
+			if v >= lo && v < hi {
+				s.insert(v, r)
+			}
+		}
+	}
+}
+
+// insert adds rank r to node v's bottom-k, keeping the slot sorted.
+func (s *Set) insert(v uint32, r uint64) {
+	base := int(v) * s.k
+	sz := int(s.size[v])
+	if sz == s.k && r >= s.ranks[base+sz-1] {
+		return
+	}
+	slot := s.ranks[base : base+sz]
+	i := sort.Search(sz, func(i int) bool { return slot[i] >= r })
+	if sz < s.k {
+		copy(s.ranks[base+i+1:base+sz+1], s.ranks[base+i:base+sz])
+		s.size[v]++
+	} else {
+		copy(s.ranks[base+i+1:base+sz], s.ranks[base+i:base+sz-1])
+	}
+	s.ranks[base+i] = r
+}
+
+// nodeRanks returns node v's sketch, ascending. Aliases the arena.
+func (s *Set) nodeRanks(v uint32) []uint64 {
+	base := int(v) * s.k
+	return s.ranks[base : base+int(s.size[v])]
+}
+
+// rankTau maps a 64-bit rank to its uniform (0, 1] position, the τ of
+// the bottom-k estimator (same 53-bit mapping as xrand.Float64, shifted
+// off zero so τ is never 0).
+func rankTau(r uint64) float64 {
+	return (float64(r>>11) + 1) * (1.0 / (1 << 53))
+}
+
+// estFromMerged is the bottom-k cardinality estimator over a merged
+// (ascending, deduplicated, ≤ k long) rank list: exact below k, else
+// (k−1)/τ_k.
+func (s *Set) estFromMerged(m []uint64) float64 {
+	if len(m) < s.k {
+		return float64(len(m))
+	}
+	return float64(s.k-1) / rankTau(m[len(m)-1])
+}
+
+// EstimateCovers estimates how many absorbed instances contain v — the
+// sketch analogue of the RR index's Degree(v).
+func (s *Set) EstimateCovers(v uint32) float64 {
+	return s.estFromMerged(s.nodeRanks(v))
+}
+
+// EstimateSpread estimates σ({v}) = n·|instances containing v|/θ.
+func (s *Set) EstimateSpread(v uint32) float64 {
+	if s.theta == 0 {
+		return 0
+	}
+	return float64(s.n) * s.EstimateCovers(v) / float64(s.theta)
+}
+
+// mergeInto merges the ascending rank lists a and b into dst (reset to
+// length 0), deduplicating by rank and keeping at most k — the combined
+// bottom-k sketch of the union. Returns the filled dst.
+func mergeInto(dst, a, b []uint64, k int) []uint64 {
+	dst = dst[:0]
+	i, j := 0, 0
+	for len(dst) < k && (i < len(a) || j < len(b)) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			dst = append(dst, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default: // equal rank: same instance reached via both nodes
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// UnionEstimate estimates how many absorbed instances contain at least
+// one of the seeds — the coverage a seed set would score on the RR
+// sample — plus how many estimator evaluations it spent (the /statsz
+// estimate counter's unit).
+func (s *Set) UnionEstimate(seeds []uint32) (est float64, evals int) {
+	cur := make([]uint64, 0, s.k)
+	scratch := make([]uint64, 0, s.k)
+	for _, v := range seeds {
+		scratch = mergeInto(scratch, cur, s.nodeRanks(v), s.k)
+		cur, scratch = scratch, cur
+	}
+	return s.estFromMerged(cur), 1
+}
+
+// EstimateSpreadSet estimates σ(seeds) = n·union/θ from the sketches
+// alone — the fast tier's answer to GET /v1/spread, never touching the
+// RR sample.
+func (s *Set) EstimateSpreadSet(seeds []uint32) (est float64, evals int) {
+	if s.theta == 0 {
+		return 0, 0
+	}
+	u, evals := s.UnionEstimate(seeds)
+	return float64(s.n) * u / float64(s.theta), evals
+}

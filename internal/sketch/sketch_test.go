@@ -1,0 +1,237 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dimm/internal/rrset"
+	"dimm/internal/xrand"
+)
+
+// genInstances builds a deterministic synthetic instance collection:
+// count diffusion instances over n nodes, node membership biased so low
+// ids are heavily covered (exercising the estimator regime) and high ids
+// sparsely (exercising the exact regime).
+func genInstances(t *testing.T, n, count int, seed uint64) (*rrset.Collection, [][]bool) {
+	t.Helper()
+	c := rrset.NewCollection(0)
+	member := make([][]bool, n) // member[v][j]
+	for v := range member {
+		member[v] = make([]bool, count)
+	}
+	rng := xrand.New(seed)
+	var buf []uint32
+	for j := 0; j < count; j++ {
+		buf = buf[:0]
+		for v := 0; v < n; v++ {
+			// Coverage falls off with the node id: node 0 is in ~60% of
+			// instances, the tail in well under k of them.
+			p := 0.6 / (1 + float64(v)/8)
+			if rng.Bernoulli(p) {
+				buf = append(buf, uint32(v))
+				member[v][j] = true
+			}
+		}
+		c.Append(buf, int64(len(buf)))
+	}
+	return c, member
+}
+
+func trueCovers(member [][]bool, v uint32) int {
+	n := 0
+	for _, in := range member[v] {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+func trueUnion(member [][]bool, seeds []uint32) int {
+	if len(member) == 0 {
+		return 0
+	}
+	count := len(member[0])
+	n := 0
+	for j := 0; j < count; j++ {
+		for _, v := range seeds {
+			if member[v][j] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func mustNew(t *testing.T, n int, p Params) *Set {
+	t.Helper()
+	s, err := New(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEstimatorExactBelowK(t *testing.T) {
+	c, member := genInstances(t, 200, 1500, 7)
+	s := mustNew(t, 200, Params{K: 64, Seed: 99})
+	s.Absorb(c.Snapshot(), 1)
+	exactChecked := 0
+	for v := uint32(0); v < 200; v++ {
+		truth := trueCovers(member, v)
+		if truth < 64 {
+			if got := s.EstimateCovers(v); got != float64(truth) {
+				t.Fatalf("node %d: %d instances (< k) should be exact, estimated %.2f", v, truth, got)
+			}
+			exactChecked++
+		}
+	}
+	if exactChecked == 0 {
+		t.Fatal("test instance has no sub-k nodes; estimator's exact regime untested")
+	}
+}
+
+func TestEstimatorAccuracyAboveK(t *testing.T) {
+	const k = 64
+	c, member := genInstances(t, 200, 1500, 7)
+	s := mustNew(t, 200, Params{K: k, Seed: 99})
+	s.Absorb(c.Snapshot(), 1)
+	tol := 6 / math.Sqrt(k-2) // 6 relative standard errors
+	checked := 0
+	for v := uint32(0); v < 200; v++ {
+		truth := trueCovers(member, v)
+		if truth < 4*k {
+			continue
+		}
+		got := s.EstimateCovers(v)
+		if rel := math.Abs(got-float64(truth)) / float64(truth); rel > tol {
+			t.Errorf("node %d: true %d, estimated %.1f (rel err %.3f > %.3f)", v, truth, got, rel, tol)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatalf("only %d nodes in the estimator regime; instance generator drifted", checked)
+	}
+	// Union estimate over a spread-out seed set.
+	seeds := []uint32{0, 17, 40, 90, 150}
+	truth := trueUnion(member, seeds)
+	got, _ := s.UnionEstimate(seeds)
+	if rel := math.Abs(got-float64(truth)) / float64(truth); rel > tol {
+		t.Errorf("union of %v: true %d, estimated %.1f (rel err %.3f > %.3f)", seeds, truth, got, rel, tol)
+	}
+}
+
+// TestAbsorbParallelismDeterminism is the satellite determinism check:
+// the sketch bytes must be identical at P ∈ {1, 2, 4}, one-shot or
+// incrementally absorbed, because every (instance, rank) pair is a pure
+// function of position. Run under -race this also proves the node-range
+// sharding writes are disjoint.
+func TestAbsorbParallelismDeterminism(t *testing.T) {
+	c, _ := genInstances(t, 301, 1200, 21) // odd n: uneven shard ranges
+	snap := c.Snapshot()
+	var want []byte
+	for _, p := range []int{1, 2, 4} {
+		s := mustNew(t, 301, Params{K: 32, Seed: 5})
+		s.Absorb(snap, p)
+		enc := s.Encode()
+		if want == nil {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(want, enc) {
+			t.Fatalf("sketch bytes differ between parallelism 1 and %d", p)
+		}
+	}
+	// Incremental absorption in three uneven chunks must land on the same
+	// bytes as one shot: ranks are positional, not arrival-ordered.
+	for _, p := range []int{1, 4} {
+		s := mustNew(t, 301, Params{K: 32, Seed: 5})
+		partial := rrset.NewCollection(0)
+		cuts := []int{1, 700, 1100, snap.Count()}
+		prev := 0
+		for _, cut := range cuts {
+			for j := prev; j < cut; j++ {
+				partial.Append(snap.Set(j), 0)
+			}
+			prev = cut
+			s.Absorb(partial.Snapshot(), p)
+		}
+		if !bytes.Equal(want, s.Encode()) {
+			t.Fatalf("incremental absorb at parallelism %d diverged from one-shot bytes", p)
+		}
+	}
+}
+
+func TestSelectGreedyDeterministicAndCovering(t *testing.T) {
+	c, member := genInstances(t, 150, 1000, 3)
+	s := mustNew(t, 150, Params{K: 64, Seed: 11})
+	s.Absorb(c.Snapshot(), 2)
+
+	seeds, covEst, evals := s.SelectGreedy(8)
+	if len(seeds) != 8 || len(covEst) != 8 {
+		t.Fatalf("got %d seeds, %d prefix estimates", len(seeds), len(covEst))
+	}
+	if evals <= 0 {
+		t.Fatal("estimator evaluation count not tracked")
+	}
+	seen := map[uint32]bool{}
+	for _, v := range seeds {
+		if seen[v] {
+			t.Fatalf("seed %d selected twice", v)
+		}
+		seen[v] = true
+	}
+	for i := 1; i < len(covEst); i++ {
+		if covEst[i] < covEst[i-1] {
+			t.Fatalf("prefix coverage estimates decreased: %v", covEst)
+		}
+	}
+	// Same sketch, same call → identical selection.
+	again, _, _ := s.SelectGreedy(8)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatalf("selection not deterministic: %v vs %v", seeds, again)
+		}
+	}
+	// The sketch-greedy seed set should cover nearly as much as it
+	// estimates, judged against ground truth.
+	truth := float64(trueUnion(member, seeds))
+	if est := covEst[len(covEst)-1]; math.Abs(est-truth)/truth > 0.5 {
+		t.Fatalf("greedy coverage estimate %.1f far from true union %.0f", est, truth)
+	}
+	// A greedy pick should beat the worst singleton by a wide margin.
+	if truth < float64(trueCovers(member, seeds[0])) {
+		t.Fatal("union of 8 greedy seeds below its own first pick")
+	}
+}
+
+func TestSelectGreedyPadsShortGraphs(t *testing.T) {
+	c := rrset.NewCollection(0)
+	c.Append([]uint32{2}, 0) // only node 2 ever covered
+	s := mustNew(t, 5, Params{K: 4, Seed: 1})
+	s.Absorb(c.Snapshot(), 1)
+	seeds, _, _ := s.SelectGreedy(3)
+	if len(seeds) != 3 || seeds[0] != 2 {
+		t.Fatalf("want [2 pad pad], got %v", seeds)
+	}
+	if seeds[1] == seeds[0] || seeds[2] == seeds[0] || seeds[1] == seeds[2] {
+		t.Fatalf("padding repeated a seed: %v", seeds)
+	}
+}
+
+func TestEstimateSpreadScaling(t *testing.T) {
+	c, member := genInstances(t, 100, 800, 13)
+	s := mustNew(t, 100, Params{K: 48, Seed: 2})
+	s.Absorb(c.Snapshot(), 1)
+	truth := float64(trueCovers(member, 0)) * 100 / 800
+	got := s.EstimateSpread(0)
+	if math.Abs(got-truth)/truth > 1 {
+		t.Fatalf("spread estimate %.2f far from %.2f", got, truth)
+	}
+	est, evals := s.EstimateSpreadSet([]uint32{0, 50})
+	if est <= 0 || evals != 1 {
+		t.Fatalf("EstimateSpreadSet = %.2f with %d evals", est, evals)
+	}
+}

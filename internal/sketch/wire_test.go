@@ -1,0 +1,138 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"dimm/internal/checksum"
+)
+
+func buildSet(t *testing.T) *Set {
+	t.Helper()
+	c, _ := genInstances(t, 120, 900, 31)
+	s := mustNew(t, 120, Params{K: 16, Seed: 77})
+	s.Absorb(c.Snapshot(), 2)
+	return s
+}
+
+func TestWireRoundTripByteIdentity(t *testing.T) {
+	s := buildSet(t)
+	enc := s.Encode()
+	if len(enc) != s.EncodedSize() {
+		t.Fatalf("EncodedSize says %d, Encode produced %d", s.EncodedSize(), len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.N() != s.N() || dec.K() != s.K() || dec.Seed() != s.Seed() || dec.Theta() != s.Theta() {
+		t.Fatalf("header drifted through the round trip: %+v vs %+v", dec, s)
+	}
+	// Byte identity: re-encoding the decoded sketch reproduces the
+	// original encoding exactly.
+	if !bytes.Equal(enc, dec.Encode()) {
+		t.Fatal("decode→encode is not byte-identical")
+	}
+	if err := dec.Verify(s.N(), Params{K: s.K(), Seed: s.Seed()}); err != nil {
+		t.Fatalf("round-tripped sketch fails Verify: %v", err)
+	}
+	// The decoded sketch keeps absorbing where the original left off.
+	more := buildSet(t)
+	if !bytes.Equal(more.Encode(), dec.Encode()) {
+		t.Fatal("decoded sketch diverged from an identically built one")
+	}
+}
+
+// TestWireCorruptionMatrix is the satellite corruption matrix: a flipped
+// bit, a truncation, and a configuration mismatch must each surface as
+// its own typed error, never as a silently adopted sketch.
+func TestWireCorruptionMatrix(t *testing.T) {
+	s := buildSet(t)
+	enc := s.Encode()
+
+	t.Run("bit flip", func(t *testing.T) {
+		// Flip one bit in each region: header, payload, footer.
+		for _, off := range []int{5, 16, wireHeaderSize + 9, len(enc) - 2} {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0x10
+			_, err := Decode(bad)
+			var ce *ChecksumError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip at %d: want *ChecksumError, got %v", off, err)
+			}
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		// Below the fixed framing: the truncation error, with sizes.
+		short := enc[:wireHeaderSize+wireFooterSize-3]
+		var te *TruncatedError
+		if _, err := Decode(short); !errors.As(err, &te) {
+			t.Fatalf("want *TruncatedError, got %v", err)
+		} else if te.GotBytes != int64(len(short)) {
+			t.Fatalf("truncation error reports %d bytes, file had %d", te.GotBytes, len(short))
+		}
+		// Mid-payload truncation still frames a footer, so the checksum
+		// is what catches it — never a successful decode.
+		if _, err := Decode(enc[:len(enc)/2]); err == nil {
+			t.Fatal("half the bytes decoded without error")
+		}
+		// Empty input.
+		if _, err := Decode(nil); !errors.As(err, &te) {
+			t.Fatalf("nil input: want *TruncatedError, got %v", err)
+		}
+	})
+
+	t.Run("foreign bytes", func(t *testing.T) {
+		// A checksummed blob with the wrong magic: FormatError, not
+		// ChecksumError — the bytes are intact, just not a sketch.
+		other := append([]byte(nil), enc...)
+		other[0] ^= 0xff
+		// recompute a valid footer over the damaged body
+		fixed, err := reframe(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fe *FormatError
+		if _, err := Decode(fixed); !errors.As(err, &fe) {
+			t.Fatalf("want *FormatError, got %v", err)
+		}
+	})
+
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct {
+			n     int
+			p     Params
+			field string
+		}{
+			{dec.N() + 1, Params{K: dec.K(), Seed: dec.Seed()}, "nodes"},
+			{dec.N(), Params{K: dec.K() * 2, Seed: dec.Seed()}, "k"},
+			{dec.N(), Params{K: dec.K(), Seed: dec.Seed() + 1}, "seed"},
+		}
+		for _, c := range cases {
+			var me *MismatchError
+			if err := dec.Verify(c.n, c.p); !errors.As(err, &me) {
+				t.Fatalf("%s: want *MismatchError, got %v", c.field, err)
+			} else if me.Field != c.field {
+				t.Fatalf("want mismatch on %q, got %q", c.field, me.Field)
+			}
+		}
+	})
+}
+
+// reframe recomputes the CRC32C footer over a (possibly modified) body.
+func reframe(framed []byte) ([]byte, error) {
+	if len(framed) < wireHeaderSize+wireFooterSize {
+		return nil, errors.New("too short to reframe")
+	}
+	body := append([]byte(nil), framed[:len(framed)-wireFooterSize]...)
+	var footer [wireFooterSize]byte
+	binary.LittleEndian.PutUint32(footer[:], checksum.Sum(body))
+	return append(body, footer[:]...), nil
+}

@@ -19,6 +19,9 @@ type Info struct {
 	R1Sets, R2Sets int
 	// Bytes is the summed size of published segments.
 	Bytes int64
+	// Sketch is the fast tier's published sketch segment, nil when the
+	// store holds none.
+	Sketch *SketchRecord
 	// Orphans are segment-looking files in the directory the manifest
 	// does not reference — debris from a crash between segment publish
 	// and manifest publish. Harmless, removable with Prune.
@@ -34,13 +37,17 @@ func Inspect(dir string) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &Info{Dir: dir, Fingerprint: man.Fingerprint, Epochs: man.Epochs}
-	referenced := make(map[string]bool, len(man.Epochs))
+	info := &Info{Dir: dir, Fingerprint: man.Fingerprint, Epochs: man.Epochs, Sketch: man.Sketch}
+	referenced := make(map[string]bool, len(man.Epochs)+1)
 	for _, e := range man.Epochs {
 		info.R1Sets += e.R1Sets
 		info.R2Sets += e.R2Sets
 		info.Bytes += e.Bytes
 		referenced[e.File] = true
+	}
+	if man.Sketch != nil {
+		info.Bytes += man.Sketch.Bytes
+		referenced[man.Sketch.File] = true
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -51,7 +58,7 @@ func Inspect(dir string) (*Info, error) {
 		if ent.IsDir() || referenced[name] {
 			continue
 		}
-		if strings.HasPrefix(name, segPrefix) || strings.Contains(name, ".tmp-") {
+		if strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, sketchPrefix) || strings.Contains(name, ".tmp-") {
 			info.Orphans = append(info.Orphans, name)
 		}
 	}
@@ -68,6 +75,11 @@ func Verify(dir string) (*Info, error) {
 	}
 	for _, rec := range info.Epochs {
 		if err := readSegment(filepath.Join(dir, rec.File), rec, nil, nil); err != nil {
+			return info, err
+		}
+	}
+	if info.Sketch != nil {
+		if err := verifySketch(dir, info.Sketch); err != nil {
 			return info, err
 		}
 	}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dimm/internal/checksum"
+	"dimm/internal/sketch"
+)
+
+// The sketch tier persists as its own segment kind next to the RR
+// segments: one sketch-NNNNNN.sk file holding the full encoded sketch
+// set (internal/sketch wire format, header + CRC32C footer), referenced
+// by a single manifest record. Unlike RR segments the sketch is
+// replaced, not appended — a bottom-k sketch absorbs growth in place,
+// so the newest file supersedes all earlier ones — but the publish
+// discipline is identical: temp + fsync + rename, manifest is the
+// authority, the superseded file is removed only after the new manifest
+// is durable.
+const (
+	sketchPrefix = "sketch-"
+	sketchSuffix = ".sk"
+)
+
+// ErrNoSketch reports that the store holds no sketch checkpoint. A
+// restoring service treats it as "rebuild from the RR sample", not as a
+// failure.
+var ErrNoSketch = errors.New("store: no sketch checkpoint")
+
+// SketchRecord is the manifest's sketch row: the published sketch file
+// and the configuration it was built under.
+type SketchRecord struct {
+	// Epoch is the growth epoch the sketch was built through; it matches
+	// an RR epoch record so restore can tell whether the sketch is
+	// current or lags the sample.
+	Epoch uint64 `json:"epoch"`
+	// File is the sketch file's name within the store directory.
+	File string `json:"file"`
+	// K and Seed pin the sketch configuration (sketch.Params).
+	K    int    `json:"k"`
+	Seed uint64 `json:"seed"`
+	// Theta is how many RR instances the sketch absorbed.
+	Theta int64 `json:"theta"`
+	// Bytes is the file size; CRC duplicates its CRC32C footer.
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// Sketch returns the manifest's sketch record, nil when none is
+// published.
+func (s *Store) Sketch() *SketchRecord { return s.man.Sketch }
+
+// CheckpointSketch publishes the sketch set as the store's sketch
+// segment for the given growth epoch, atomically superseding any
+// previous one. A sketch already stored at the same epoch and theta is
+// a no-op. Returns the bytes written.
+func (s *Store) CheckpointSketch(epoch uint64, sk *sketch.Set) (int64, error) {
+	if sk == nil {
+		return 0, fmt.Errorf("store: checkpointing a nil sketch")
+	}
+	if old := s.man.Sketch; old != nil && old.Epoch == epoch && old.Theta == sk.Theta() {
+		return 0, nil
+	}
+	data := sk.Encode()
+	name := fmt.Sprintf("%s%06d%s", sketchPrefix, s.man.NextSeg, sketchSuffix)
+	path := filepath.Join(s.dir, name)
+	if err := writeFileDurable(path, data); err != nil {
+		return 0, err
+	}
+	man := s.man
+	man.NextSeg++
+	man.Sketch = &SketchRecord{
+		Epoch: epoch,
+		File:  name,
+		K:     sk.K(),
+		Seed:  sk.Seed(),
+		Theta: sk.Theta(),
+		Bytes: int64(len(data)),
+		CRC:   checksum.Sum(data[:len(data)-4]),
+	}
+	old := s.man.Sketch
+	if err := writeManifest(s.dir, man); err != nil {
+		os.Remove(path) // unpublished; do not leave an orphan
+		return 0, err
+	}
+	s.man = man
+	if old != nil {
+		os.Remove(filepath.Join(s.dir, old.File))
+	}
+	return int64(len(data)), nil
+}
+
+// RestoreSketch materializes the stored sketch for an n-node graph,
+// running the same check ladder as RR segments: manifest-vs-file size
+// (truncation), CRC32C (any flipped bit), wire decode (structure), and
+// finally the configuration recorded in the manifest (staleness). The
+// caller still owns the decision of whether the sketch's K/Seed match
+// its own configuration — sketch.Set.Verify does that.
+func (s *Store) RestoreSketch(n int) (*sketch.Set, *SketchRecord, error) {
+	rec := s.man.Sketch
+	if rec == nil {
+		return nil, nil, ErrNoSketch
+	}
+	path := filepath.Join(s.dir, rec.File)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil, &ManifestStaleError{Dir: s.dir, Reason: fmt.Sprintf("sketch file %s listed in the manifest is missing", rec.File)}
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading sketch %s: %w", path, err)
+	}
+	if int64(len(data)) != rec.Bytes {
+		return nil, nil, &SegmentTruncatedError{Path: path, WantBytes: rec.Bytes, GotBytes: int64(len(data))}
+	}
+	if len(data) < 4 {
+		return nil, nil, &SegmentTruncatedError{Path: path, WantBytes: 4, GotBytes: int64(len(data))}
+	}
+	if got := checksum.Sum(data[:len(data)-4]); got != rec.CRC {
+		return nil, nil, &SegmentChecksumError{Path: path, Want: rec.CRC, Got: got}
+	}
+	sk, err := sketch.Decode(data)
+	if err != nil {
+		return nil, nil, err // sketch's own typed corruption errors
+	}
+	if sk.N() != n {
+		return nil, nil, &FingerprintMismatchError{Field: "sketch_nodes", Want: fmt.Sprint(sk.N()), Got: fmt.Sprint(n)}
+	}
+	if sk.K() != rec.K || sk.Seed() != rec.Seed || sk.Theta() != rec.Theta {
+		return nil, nil, &ManifestStaleError{Dir: s.dir, Reason: fmt.Sprintf(
+			"sketch file holds k=%d seed=%d theta=%d, manifest recorded k=%d seed=%d theta=%d",
+			sk.K(), sk.Seed(), sk.Theta(), rec.K, rec.Seed, rec.Theta)}
+	}
+	return sk, rec, nil
+}
+
+// verifySketch re-reads the published sketch end to end; nil when it
+// would restore cleanly (modulo the graph-size check, which needs a
+// configuration). Used by Verify/cmd/dimmstore.
+func verifySketch(dir string, rec *SketchRecord) error {
+	path := filepath.Join(dir, rec.File)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &ManifestStaleError{Dir: dir, Reason: fmt.Sprintf("sketch file %s listed in the manifest is missing", rec.File)}
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading sketch %s: %w", path, err)
+	}
+	if int64(len(data)) != rec.Bytes {
+		return &SegmentTruncatedError{Path: path, WantBytes: rec.Bytes, GotBytes: int64(len(data))}
+	}
+	sk, err := sketch.Decode(data)
+	if err != nil {
+		return err
+	}
+	if err := sk.Verify(sk.N(), sketch.Params{K: rec.K, Seed: rec.Seed}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeFileDurable writes data to path via temp + fsync + rename, the
+// same publish discipline as RR segments.
+func writeFileDurable(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	return nil
+}

@@ -195,6 +195,10 @@ type manifest struct {
 	// never collide with a later checkpoint's name.
 	NextSeg int           `json:"next_seg"`
 	Epochs  []EpochRecord `json:"epochs"`
+	// Sketch optionally references the serving fast tier's bottom-k
+	// sketch segment (see sketch.go). Absent in pre-sketch manifests,
+	// which keep restoring unchanged.
+	Sketch *SketchRecord `json:"sketch,omitempty"`
 }
 
 // Store is an open checkpoint directory. It is single-writer by design:
@@ -327,6 +331,9 @@ func readManifest(dir string) (*manifest, error) {
 			return nil, &ManifestStaleError{Dir: dir, Reason: fmt.Sprintf(
 				"epochs not strictly increasing at record %d (%d after %d)", i, e.Epoch, man.Epochs[i-1].Epoch)}
 		}
+	}
+	if sk := man.Sketch; sk != nil && (sk.File == "" || sk.Bytes <= 0 || sk.K < 2 || sk.Theta < 0) {
+		return nil, &ManifestStaleError{Dir: dir, Reason: "sketch record is malformed"}
 	}
 	return &man, nil
 }

@@ -159,6 +159,18 @@ func LaneSeed(base, set uint64) uint64 {
 	return splitMix64(&s)
 }
 
+// SketchRank derives the bottom-k sketch rank of diffusion instance
+// `set` under the rank stream identified by base. The rank is a pure
+// function of (base, set) — no generator state is consumed — so a
+// sketch builder can visit instances in any order, from any number of
+// shards, and assign every instance the same rank: the order-invariance
+// that makes sketch construction deterministic at any parallelism, the
+// same trick LaneSeed plays for batched RR sampling.
+func SketchRank(base, set uint64) uint64 {
+	s := base ^ (0xd6e8feb86659fd93 * (set + 1))
+	return splitMix64(&s)
+}
+
 // ScanSeed derives the generator seed for the in-edge scan of one node
 // inside one RR-set lane. Keying the scan by (lane, node) — rather than
 // drawing from a sequential per-set stream — makes every edge coin a pure
