@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault bench-sketch
+.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault bench-sketch bench-update
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,10 @@ test:
 
 # The concurrency-sensitive packages: sharded RR generation, the parallel
 # select kernel, the cluster transports, the query service, the sketch
-# tier (node-sharded absorbs), and the durable store run under the race
-# detector.
+# tier (node-sharded absorbs), the mutation/repair planner, and the
+# durable store run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/rrset/... ./internal/serve/... ./internal/sketch/... ./internal/store/...
+	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/mutate/... ./internal/rrset/... ./internal/serve/... ./internal/sketch/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -54,6 +54,12 @@ bench-store:
 # post-recovery p50/p99 on this box).
 bench-fault:
 	$(GO) run ./cmd/experiments -run fault
+
+# Regenerates BENCH_UPDATE.json (incremental RR-sample repair vs full
+# resample per edge-churn level, and query p99 through an update storm
+# on this box).
+bench-update:
+	$(GO) run ./cmd/experiments -run update
 
 # Regenerates BENCH_SKETCH.json (fast sketch tier vs certified tier:
 # /v1/spread QPS/p50/p99 at equal concurrency, sketch build cost, and

@@ -60,6 +60,7 @@ func main() {
 		batch       = flag.Int("batch", 0, "frontier-batch width of each sampling shard (0 = auto, 1 = scalar kernel; never changes sampled sets, safe to vary per worker)")
 		seed        = flag.Uint64("seed", 1, "base random seed (same on every worker)")
 		seedIndex   = flag.Int("seed-index", 0, "this worker's machine index (distinct per worker)")
+		dynamic     = flag.Bool("dynamic", false, "enable streaming graph updates: the master's POST /v1/update batches mutate this worker's graph copy and repair its RR sets in place (set on every worker of a dynamic deployment)")
 		grace       = flag.Duration("shutdown-grace", 5*time.Second, "on SIGINT/SIGTERM, wait this long for the connected master to go idle before closing")
 	)
 	flag.Parse()
@@ -88,6 +89,12 @@ func main() {
 		if g, err = graph.AssignWeights(g, wm, float32(*uniformP), *seed); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *dynamic {
+		// Must happen before any worker (and its samplers) is built: the
+		// samplers pick mutation-safe kernels on mutable graphs.
+		g.EnableMutation()
 	}
 
 	lis, err := net.Listen("tcp", *listen)

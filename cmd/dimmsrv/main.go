@@ -28,6 +28,14 @@
 //	# ...crash or deploy...
 //	dimmsrv -graph g.bin -checkpoint-dir /var/lib/dimm/ckpt -restore
 //
+// With -dynamic the service accepts streaming edge updates — the graph
+// mutates behind a delta overlay and the resident RR sample is repaired
+// in place instead of resampled (see README "Dynamic graphs"):
+//
+//	dimmsrv -graph g.bin -dynamic
+//	curl -X POST localhost:8080/v1/update \
+//	  -d '{"seq": 1, "ops": [{"op":"add","from":12,"to":99,"prob":0.05}]}'
+//
 // SIGINT/SIGTERM triggers a graceful stop: the listener closes,
 // in-flight requests get -shutdown-grace to finish, then the worker
 // clusters shut down and the process exits 0.
@@ -80,6 +88,8 @@ func main() {
 
 		sketchK = flag.Int("sketch-k", 0, "bottom-k size of the ?mode=fast sketch tier (0 = default, negative disables the tier)")
 
+		dynamic = flag.Bool("dynamic", false, "accept streaming graph updates on POST /v1/update, repairing the resident RR sample in place (TCP workers must run dimmd -dynamic; incompatible with -subsim and -restore)")
+
 		cacheSize   = flag.Int("cache", 256, "LRU capacity for recent (k, eps) answers (negative disables)")
 		maxInFlight = flag.Int("max-inflight", 64, "concurrently admitted query requests; excess get 429")
 		warm        = flag.Bool("warm", false, "grow the resident sample for the hardest admissible query before accepting traffic")
@@ -88,7 +98,7 @@ func main() {
 		retries      = flag.Int("retries", cluster.DefaultRetries, "respawn/redial attempts per worker failure before quarantining it")
 		retryBackoff = flag.Duration("retry-backoff", cluster.DefaultRetryBackoff, "base backoff between worker retry attempts (exponential, jittered)")
 
-		grace       = flag.Duration("shutdown-grace", 10*time.Second, "on SIGINT/SIGTERM, deadline for in-flight HTTP requests to finish")
+		grace = flag.Duration("shutdown-grace", 10*time.Second, "on SIGINT/SIGTERM, deadline for in-flight HTTP requests to finish")
 
 		checkpointDir = flag.String("checkpoint-dir", "", "directory for the durable RR-sample store; each growth epoch is checkpointed there")
 		restore       = flag.Bool("restore", false, "replay the checkpoint in -checkpoint-dir at startup (warm restart, no resampling)")
@@ -113,6 +123,7 @@ func main() {
 		Model:         model,
 		Subset:        *subset,
 		Seed:          *seed,
+		Dynamic:       *dynamic,
 		Machines:      *machines,
 		Parallelism:   parOpt(*parallelism),
 		Batch:         *batch,

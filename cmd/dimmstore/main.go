@@ -55,6 +55,9 @@ func main() {
 		if info.Sketch != nil {
 			extra = " + sketch"
 		}
+		if n := len(info.Deltas); n > 0 {
+			extra += fmt.Sprintf(" + %d graph deltas", n)
+		}
 		fmt.Printf("verify: all %d segments%s OK\n", len(info.Epochs), extra)
 
 	case "prune":
@@ -114,6 +117,18 @@ func printInfo(info *store.Info) {
 		fmt.Printf("  sketch       bottom-%d seed=%d theta=%d\n", sk.K, sk.Seed, sk.Theta)
 		fmt.Printf("    epoch %-4d %s  %d bytes  crc %08x\n",
 			sk.Epoch, sk.File, sk.Bytes, sk.CRC)
+	}
+	if len(info.Deltas) > 0 {
+		fmt.Printf("  graph deltas %d batches, %d RR sets repaired (store is a journal; not restorable)\n",
+			len(info.Deltas), info.RepairedSets)
+		for _, d := range info.Deltas {
+			tag := ""
+			if d.Remirrored {
+				tag = "  [remirrored]"
+			}
+			fmt.Printf("    seq %-6d %s  %d ops  %d repaired  epoch %d  %d bytes  crc %08x%s\n",
+				d.Seq, d.File, d.Ops, d.Repaired, d.Epoch, d.Bytes, d.CRC, tag)
+		}
 	}
 	for _, o := range info.Orphans {
 		fmt.Printf("  orphan       %s (not in manifest; dimmstore prune removes it)\n", o)

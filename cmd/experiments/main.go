@@ -36,22 +36,22 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run       = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,sketch,all (rrgen, select, serve, store, fault and sketch only run when named)")
-		scale     = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
-		k         = flag.Int("k", 50, "seed set size")
-		eps       = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
-		seed      = flag.Uint64("seed", 20220501, "base random seed")
-		clusters  = flag.String("cluster-sizes", "1,2,4,8,16", "ℓ sweep for the TCP-cluster figures")
-		cores     = flag.String("core-counts", "1,2,4,8,16,32,64", "ℓ sweep for the multi-core figures")
-		datasets  = flag.String("datasets", "", "comma list of datasets (default: all four)")
-		outPath   = flag.String("out", "", "also write the report to this file")
-		report    = flag.String("report", "", "run everything and write an EXPERIMENTS.md-style markdown report to this file")
-		repeats   = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
-		linkRTT   = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
-		linkGbps  = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
-		par       = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
-		batch     = flag.Int("batch", 0, "frontier-batch width of each sampling shard for the figure runs (0 = auto, 1 = scalar kernel)")
-		rrgenOut  = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,sketch,update,all (rrgen, select, serve, store, fault, sketch and update only run when named)")
+		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
+		k        = flag.Int("k", 50, "seed set size")
+		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
+		seed     = flag.Uint64("seed", 20220501, "base random seed")
+		clusters = flag.String("cluster-sizes", "1,2,4,8,16", "ℓ sweep for the TCP-cluster figures")
+		cores    = flag.String("core-counts", "1,2,4,8,16,32,64", "ℓ sweep for the multi-core figures")
+		datasets = flag.String("datasets", "", "comma list of datasets (default: all four)")
+		outPath  = flag.String("out", "", "also write the report to this file")
+		report   = flag.String("report", "", "run everything and write an EXPERIMENTS.md-style markdown report to this file")
+		repeats  = flag.Int("repeats", 1, "runs per cell; the fastest is kept (paper: average of 10)")
+		linkRTT  = flag.Duration("link-rtt", 200*time.Microsecond, "simulated RTT for the TCP-cluster figures (paper: 1Gbps switch); 0 = raw loopback")
+		linkGbps = flag.Float64("link-gbps", 1.0, "simulated link bandwidth in Gbit/s for the TCP-cluster figures; 0 = unlimited")
+		par      = flag.Int("parallelism", 1, "RR-generation goroutines per worker (1 = sequential, keeps per-worker timings exact on oversubscribed boxes; 0 = auto GOMAXPROCS/machines)")
+		batch    = flag.Int("batch", 0, "frontier-batch width of each sampling shard for the figure runs (0 = auto, 1 = scalar kernel)")
+		rrgenOut = flag.String("rrgen-out", "BENCH_RRGEN.json", "JSON output path for -run rrgen (empty = print only)")
 
 		rrgenGraph  = flag.String("rrgen-graph", "rmat", "graph kind for -run rrgen: pref|rmat (rmat stresses cache locality)")
 		rrgenNodes  = flag.Int("rrgen-nodes", 16_000_000, "graph size for -run rrgen; the default CSR footprint far exceeds typical LLCs")
@@ -61,12 +61,16 @@ func main() {
 		rrgenBs     = flag.String("rrgen-bs", "1,8,64,256", "frontier-batch width sweep for -run rrgen")
 		rrgenSubset = flag.Bool("rrgen-subset", true, "use SUBSIM subset sampling for -run rrgen (the memory-latency-bound regime where batching pays)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
-		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file")
-		selectOut = flag.String("select-out", "BENCH_SELECT.json", "JSON output path for -run select (empty = print only)")
-		serveOut  = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
-		faultOut  = flag.String("fault-out", "BENCH_FAULT.json", "JSON output path for -run fault (empty = print only)")
-		storeOut  = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
+		memProfile    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		selectOut     = flag.String("select-out", "BENCH_SELECT.json", "JSON output path for -run select (empty = print only)")
+		serveOut      = flag.String("serve-out", "BENCH_SERVE.json", "JSON output path for -run serve (empty = print only)")
+		faultOut      = flag.String("fault-out", "BENCH_FAULT.json", "JSON output path for -run fault (empty = print only)")
+		storeOut      = flag.String("store-out", "BENCH_STORE.json", "JSON output path for -run store (empty = print only)")
+		updateOut     = flag.String("update-out", "BENCH_UPDATE.json", "JSON output path for -run update (empty = print only)")
+		updateNodes   = flag.Int("update-nodes", 0, "graph size for -run update (0 = bench default)")
+		updateBatches = flag.Int("update-storm-batches", 0, "storm update batches for -run update (0 = bench default)")
+		updateOps     = flag.Int("update-storm-ops", 0, "edge ops per storm batch for -run update (0 = bench default)")
 
 		sketchOut      = flag.String("sketch-out", "BENCH_SKETCH.json", "JSON output path for -run sketch (empty = print only)")
 		sketchNodes    = flag.Int("sketch-nodes", 0, "graph size for -run sketch (0 = bench default)")
@@ -209,6 +213,16 @@ func main() {
 	if want["fault"] {
 		if _, err := cfg.Fault(*faultOut); err != nil {
 			log.Fatalf("fault: %v", err)
+		}
+	}
+	if want["update"] {
+		opt := bench.UpdateOptions{
+			Nodes:        *updateNodes,
+			StormBatches: *updateBatches,
+			StormOps:     *updateOps,
+		}
+		if _, err := cfg.Update(*updateOut, opt); err != nil {
+			log.Fatalf("update: %v", err)
 		}
 	}
 	if want["sketch"] {

@@ -65,6 +65,13 @@ type Metrics struct {
 	SketchBuildTime time.Duration
 	// Rounds counts broadcast round trips.
 	Rounds int64
+	// UpdateCalls counts Update broadcasts (dynamic-graph edge batches)
+	// and RepairedSets the RR sets regenerated in place across all
+	// workers' incremental repairs — the numerator of the repair ratio
+	// (RepairedSets / total resident sets) that decides when repair beats
+	// a full resample.
+	UpdateCalls  int64
+	RepairedSets int64
 	// GenCalls counts Generate broadcasts — the denominator for
 	// waves-per-generate-call (Batch.Waves / GenCalls).
 	GenCalls int64
@@ -746,17 +753,40 @@ func (c *Cluster) GatherAll() (*rrset.Collection, error) {
 // service: after a growth round its traffic is Θ(new RR size), not
 // Θ(total RR size) like GatherAll.
 func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
+	next, _, err := c.FetchNewSpans(since, into)
+	return next, err
+}
+
+// FetchSpan records where one contiguous run of a worker's RR sets
+// landed in a fetched collection: worker-local positions [WorkerStart,
+// WorkerStart+Count) map to destination positions [MasterStart,
+// MasterStart+Count). The spans of a fetch partition exactly the
+// worker-local ranges it pulled — a master mirroring the shards keeps
+// them to translate worker-local repair patches (Update) into positions
+// in its own mirror.
+type FetchSpan struct {
+	Worker      int
+	WorkerStart int
+	MasterStart int
+	Count       int
+}
+
+// FetchNewSpans is FetchNew plus the worker→destination position spans
+// of everything appended. MasterStart values are relative to `into`'s
+// size at call time.
+func (c *Cluster) FetchNewSpans(since []int, into *rrset.Collection) ([]int, []FetchSpan, error) {
 	if since == nil {
 		since = make([]int, len(c.conns))
 	}
 	if len(since) != len(c.conns) {
-		return nil, fmt.Errorf("cluster: %d fetch cursors for %d workers", len(since), len(c.conns))
+		return nil, nil, fmt.Errorf("cluster: %d fetch cursors for %d workers", len(since), len(c.conns))
 	}
 	if into == nil {
-		return nil, fmt.Errorf("cluster: nil destination collection")
+		return nil, nil, fmt.Errorf("cluster: nil destination collection")
 	}
 	next := make([]int, len(since))
 	copy(next, since)
+	var spans []FetchSpan
 	for {
 		reqs := make([][]byte, len(c.conns))
 		for i := range reqs {
@@ -764,7 +794,7 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 		}
 		resps, wall, downs, err := c.broadcast(reqs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		handlers := make([]time.Duration, len(resps))
 		start := time.Now()
@@ -774,12 +804,16 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 			}
 			nanos, rest, err := decodeRespHeader(resp)
 			if err != nil {
-				return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+				return nil, nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 			}
 			handlers[i] = time.Duration(nanos)
+			dst := into.Count()
 			added, err := decodeFetchResp(i, rest, into)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			if added > 0 {
+				spans = append(spans, FetchSpan{Worker: i, WorkerStart: next[i], MasterStart: dst, Count: added})
 			}
 			next[i] += added
 			if c.rec != nil {
@@ -789,7 +823,7 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 		c.met.MasterCompute += time.Since(start)
 		c.account("sel", wall, handlers)
 		if len(downs) == 0 {
-			return next, nil
+			return next, spans, nil
 		}
 		// The quarantined workers' unfetched suffixes were lost with
 		// them; repair regenerates exactly those RR sets on survivors
@@ -797,7 +831,7 @@ func (c *Cluster) FetchNew(since []int, into *rrset.Collection) ([]int, error) {
 		// fetches them from the survivors' advanced cursors. Each
 		// iteration either quarantines another worker or terminates.
 		if err := c.repair(downs, nil); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 }

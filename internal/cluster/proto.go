@@ -34,6 +34,7 @@ const (
 	msgFetchSince  = byte(11) // ship only the RR sets generated since a given id
 	msgSetReported = byte(12) // set the degree-delta cursor (failover resync)
 	msgGenerateAux = byte(13) // generate RR sets from an explicit stream seed (rebalance)
+	msgUpdate      = byte(14) // apply a graph-update batch and repair the RR shard in place
 	msgError       = byte(0x7f)
 )
 

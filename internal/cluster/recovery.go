@@ -470,7 +470,9 @@ func (c *Cluster) rebuildBaseline() ([]int, error) {
 		if _, err := decodeAckResp(resp); err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
-		c.logs[i].synced = 0
+		if c.rec != nil {
+			c.logs[i].synced = 0
+		}
 	}
 	if len(downs) > 0 {
 		return downs, nil
@@ -498,7 +500,9 @@ func (c *Cluster) rebuildBaseline() ([]int, error) {
 			}
 			c.baseDeg[p.Node] += int64(p.Dec)
 		}
-		c.logs[i].synced = c.logs[i].count()
+		if c.rec != nil {
+			c.logs[i].synced = c.logs[i].count()
+		}
 	}
 	c.account("sel", wall, handlers)
 	if len(downs) > 0 {

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"time"
+
+	"dimm/internal/checksum"
+	"dimm/internal/mutate"
+	"dimm/internal/rrset"
+)
+
+// This file is the cluster side of the dynamic-graph subsystem
+// (internal/mutate): broadcasting an edge-update batch to every worker
+// and splicing each worker's incremental RR-shard repair back to the
+// master.
+//
+// An update is a state-mutating broadcast like msgGenerate, so it rides
+// the same machinery: journaled per worker for failover replay and
+// retried through the failover ladder on connection loss. A repaired
+// set's coverage may have changed, so each worker ships the net
+// baseline-degree corrections alongside its patches and the master
+// folds them in place — no full degree re-report.
+// Replay determinism needs no special casing — a respawned replacement
+// replays its generation ops against the *current* (already-mutated)
+// graph, so its sets are born post-repair, and replaying the update
+// frame afterwards is a version-gated no-op apply plus a value-idempotent
+// recompute. The replayed worker converges to the exact bytes of the
+// repaired original, which TestUpdateFailoverDeterminism asserts.
+
+// updateRequestOffset is where an update request's batch payload begins:
+// 1 tag byte + 4 declared length + 4 CRC32C. Updates are the one
+// *request* type that can silently poison every worker's state if a bit
+// flips in transit (counts and seeds elsewhere are cross-checked by
+// responses), so the batch travels behind the same integrity trailer as
+// fetch responses.
+const updateRequestOffset = 1 + 4 + 4
+
+// encodeUpdateReq frames an update batch: tag, declared payload length,
+// CRC32C, then the mutate wire encoding.
+func encodeUpdateReq(b mutate.Batch) []byte {
+	buf := make([]byte, 0, updateRequestOffset+mutate.EncodedSize(b))
+	buf = append(buf, msgUpdate)
+	buf = appendU32(buf, 0) // payload length, patched below
+	buf = appendU32(buf, 0) // CRC32C, patched below
+	buf = mutate.EncodeBatch(buf, b)
+	payload := buf[updateRequestOffset:]
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[5:9], checksum.Sum(payload))
+	return buf
+}
+
+// decodeUpdateReq verifies the request trailer and decodes the batch.
+func decodeUpdateReq(rest []byte) (mutate.Batch, error) {
+	payload, err := verifyFramePayload(-1, rest)
+	if err != nil {
+		return mutate.Batch{}, err
+	}
+	b, n, err := mutate.DecodeBatch(payload)
+	if err != nil {
+		return mutate.Batch{}, err
+	}
+	if n != len(payload) {
+		return mutate.Batch{}, fmt.Errorf("update request carries %d trailing bytes", len(payload)-n)
+	}
+	return b, nil
+}
+
+// handleUpdate is the worker side of msgUpdate: apply the batch to the
+// graph (version-gated, so shared-graph and replayed applies are no-ops),
+// plan exactly which resident RR sets the mutation can have changed,
+// regenerate those slots from their original lane seeds on the new graph,
+// and ship the patches back so the master can mirror the repair.
+func (w *Worker) handleUpdate(rest []byte, start time.Time) ([]byte, error) {
+	if w.cfg.Graph == nil {
+		return nil, fmt.Errorf("worker has no graph; cannot apply updates")
+	}
+	if !w.cfg.Graph.MutationEnabled() {
+		return nil, fmt.Errorf("graph is frozen; enable mutation before issuing updates")
+	}
+	batch, err := decodeUpdateReq(rest)
+	if err != nil {
+		return nil, err
+	}
+	deltas, _, err := w.cfg.Graph.ApplyUpdates(batch.Seq, batch.Ops)
+	if err != nil {
+		return nil, err
+	}
+	var patches []rrset.Patch
+	var corr []DeltaPair
+	if w.coll.Count() > 0 {
+		if !w.lanesComplete() {
+			return nil, fmt.Errorf("worker holds RR sets without lane provenance (ingested or restored); repair needs a full resample")
+		}
+		if err := w.ensureIndex(); err != nil {
+			return nil, err
+		}
+		var plan []int
+		if deltas != nil {
+			plan, err = mutate.AffectedSlots(w.cfg.Model, deltas, w.idx, w.lanes)
+		} else {
+			// Version-gated no-op apply with no memoized deltas (a replay
+			// of an old batch): fall back to the conservative plan. The
+			// recompute is value-idempotent, so over-repair is just work.
+			plan, err = mutate.AffectedSlotsConservative(batch.Ops, w.idx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(plan) > 0 {
+			rep, err := w.repairSampler()
+			if err != nil {
+				return nil, err
+			}
+			patches = make([]rrset.Patch, 0, len(plan))
+			for _, slot := range plan {
+				members, _ := rep.ResampleLane(w.lanes[slot])
+				// A re-run that reproduces the resident bytes exactly (the
+				// flipped coin turned out not to change reachability, or a
+				// conservative plan over-approximated) is a no-op: shipping
+				// it would cost wire, index diffs and splice work at every
+				// replica for nothing. Equality is order-exact, so skipped
+				// slots are bit-identical to a fresh generation on G'.
+				if slices.Equal(members, w.coll.Set(slot)) {
+					continue
+				}
+				patches = append(patches, rrset.Patch{Pos: slot, Members: append([]uint32(nil), members...)})
+			}
+			// Both the baseline corrections and the in-place index patch
+			// diff against pre-patch membership, so they run before the
+			// collection mutates.
+			if corr, err = w.repairDeltas(patches); err != nil {
+				return nil, err
+			}
+			if err := w.idx.ApplyPatches(w.coll, patches); err != nil {
+				w.idx = nil // fall back to a from-scratch rebuild
+			}
+			if err := w.coll.ApplyPatches(patches); err != nil {
+				w.idx = nil
+				return nil, err
+			}
+		}
+	}
+	return encodeRepairResp(time.Since(start), patches, corr), nil
+}
+
+// repairDeltas computes the net baseline-degree corrections a repair
+// implies for RR sets whose coverage has already shipped to the master
+// (slots below the degree-sync cursor): -1 per pre-patch member, +1 per
+// incoming member, zero-net nodes dropped. Slots at or above the cursor
+// need no correction — their post-repair membership rides the next
+// degreeDelta. Must run before the patches are applied to the
+// collection: it reads pre-patch membership.
+func (w *Worker) repairDeltas(patches []rrset.Patch) ([]DeltaPair, error) {
+	if len(w.degStamp) < w.numItems() {
+		w.degStamp = make([]uint32, w.numItems())
+		w.degRound = 0
+	}
+	w.degRound++
+	if w.degRound == 0 { // wrapped: stale stamps could collide
+		clear(w.degStamp)
+		w.degRound = 1
+	}
+	w.touched = w.touched[:0]
+	oob := -1
+	mark := func(v uint32, d int32) {
+		if int(v) >= len(w.decScratch) {
+			oob = int(v)
+			return
+		}
+		if w.degStamp[v] != w.degRound {
+			w.degStamp[v] = w.degRound
+			w.touched = append(w.touched, v)
+		}
+		w.decScratch[v] += d
+	}
+	for _, p := range patches {
+		if p.Pos >= w.reported {
+			continue
+		}
+		for _, v := range w.coll.Set(p.Pos) {
+			mark(v, -1)
+		}
+		for _, v := range p.Members {
+			mark(v, 1)
+		}
+	}
+	w.pairBuf = w.pairBuf[:0]
+	for _, v := range w.touched {
+		if d := w.decScratch[v]; d != 0 {
+			w.pairBuf = append(w.pairBuf, DeltaPair{Node: v, Dec: d})
+		}
+		w.decScratch[v] = 0
+	}
+	if oob >= 0 {
+		return nil, fmt.Errorf("RR member %d outside item space %d", oob, len(w.decScratch))
+	}
+	// First-encounter order is already deterministic, and the repair
+	// response's fixed-width delta section (unlike the gap-coded
+	// msgDegreeDelta forms) does not require ascending nodes — skip the
+	// O(p log p) sort a high-churn repair would pay.
+	return w.pairBuf, nil
+}
+
+// lanesComplete reports whether every resident RR set has a journaled
+// lane seed (generation maintains them; ingest does not).
+func (w *Worker) lanesComplete() bool {
+	return len(w.lanes) == w.coll.Count()
+}
+
+// repairSampler lazily builds the worker's scalar repair sampler: a
+// private Sampler over the same graph/model/root-weights whose only job
+// is ResampleLane (its own stream is never advanced, so the seed is
+// irrelevant).
+func (w *Worker) repairSampler() (*rrset.Sampler, error) {
+	if w.repairer != nil {
+		return w.repairer, nil
+	}
+	s, err := rrset.NewSampler(w.cfg.Graph, w.cfg.Model, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	if w.cfg.RootWeights != nil {
+		if err := s.SetRootWeights(w.cfg.RootWeights); err != nil {
+			return nil, err
+		}
+	}
+	w.repairer = s
+	return s, nil
+}
+
+// encodeRepairResp frames the worker's repair patches behind the
+// integrity trailer: patch count u32, then per patch the slot u32, the
+// member count u32, and the members; then the baseline-correction
+// deltas as pair count u32 + (node u32, decrement u32) pairs.
+func encodeRepairResp(elapsed time.Duration, patches []rrset.Patch, deltas []DeltaPair) []byte {
+	size := 4
+	for _, p := range patches {
+		size += 8 + 4*len(p.Members)
+	}
+	size += 4 + 8*len(deltas)
+	b := make([]byte, 0, framePayloadOffset+size)
+	b = append(b, 0)
+	b = appendI64(b, elapsed.Nanoseconds())
+	b = appendU32(b, 0) // payload length, patched below
+	b = appendU32(b, 0) // CRC32C, patched below
+	b = appendU32(b, uint32(len(patches)))
+	for _, p := range patches {
+		b = appendU32(b, uint32(p.Pos))
+		b = appendU32(b, uint32(len(p.Members)))
+		for _, m := range p.Members {
+			b = appendU32(b, m)
+		}
+	}
+	b = appendU32(b, uint32(len(deltas)))
+	for _, d := range deltas {
+		b = appendU32(b, d.Node)
+		b = appendU32(b, uint32(d.Dec))
+	}
+	payload := b[framePayloadOffset:]
+	binary.LittleEndian.PutUint32(b[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[13:17], checksum.Sum(payload))
+	return b
+}
+
+// decodeRepairResp verifies and parses a repair response's patches and
+// baseline-correction deltas.
+func decodeRepairResp(worker int, rest []byte) ([]rrset.Patch, []DeltaPair, error) {
+	payload, err := verifyFramePayload(worker, rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	count, rest2, err := consumeU32(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	patches := make([]rrset.Patch, 0, min(int(count), len(rest2)/8+1))
+	for i := uint32(0); i < count; i++ {
+		var pos, l uint32
+		if pos, rest2, err = consumeU32(rest2); err != nil {
+			return nil, nil, err
+		}
+		if l, rest2, err = consumeU32(rest2); err != nil {
+			return nil, nil, err
+		}
+		if int(l)*4 > len(rest2) {
+			return nil, nil, &FrameIntegrityError{Worker: worker, Reason: fmt.Sprintf("repair patch %d truncated", i)}
+		}
+		members := make([]uint32, l)
+		for j := uint32(0); j < l; j++ {
+			members[j] = binary.LittleEndian.Uint32(rest2[j*4:])
+		}
+		rest2 = rest2[l*4:]
+		patches = append(patches, rrset.Patch{Pos: int(pos), Members: members})
+	}
+	var pairs, rest3 = []DeltaPair(nil), rest2
+	dcount, rest3, err := consumeU32(rest3)
+	if err != nil {
+		return nil, nil, &FrameIntegrityError{Worker: worker, Reason: "repair deltas header truncated"}
+	}
+	if int(dcount)*8 > len(rest3) {
+		return nil, nil, &FrameIntegrityError{Worker: worker, Reason: "repair deltas truncated"}
+	}
+	for i := uint32(0); i < dcount; i++ {
+		node := binary.LittleEndian.Uint32(rest3[i*8:])
+		dec := int32(binary.LittleEndian.Uint32(rest3[i*8+4:]))
+		pairs = append(pairs, DeltaPair{Node: node, Dec: dec})
+	}
+	rest3 = rest3[dcount*8:]
+	if len(rest3) != 0 {
+		return nil, nil, &FrameIntegrityError{Worker: worker, Reason: fmt.Sprintf(
+			"%d trailing bytes after the declared repair deltas", len(rest3))}
+	}
+	return patches, pairs, nil
+}
+
+// Update broadcasts an edge-update batch to every live worker and
+// returns each worker's repair patches (indexed by worker; nil for
+// workers that repaired nothing). The patches carry worker-local RR
+// positions — a master mirroring the shards via FetchNew maps them
+// through its per-worker fetch spans.
+//
+// On worker loss the failover ladder runs first (a respawned replacement
+// converges to post-repair bytes, see the file comment). If a worker is
+// quarantined instead, its shard is regenerated on survivors — on the
+// already-mutated graph, so the pooled sample stays i.i.d. and the
+// certificate math survives — but shard positions shift, so mirrored
+// masters cannot splice patches anymore: Update then returns a
+// RebalancedError and the caller must refetch or resample its mirror.
+func (c *Cluster) Update(b mutate.Batch) ([][]rrset.Patch, error) {
+	if len(b.Ops) == 0 {
+		return nil, fmt.Errorf("cluster: empty update batch")
+	}
+	req := encodeUpdateReq(b)
+	resps, wall, downs, err := c.broadcast(c.same(req))
+	if err != nil {
+		return nil, err
+	}
+	patches := make([][]rrset.Patch, len(c.conns))
+	handlers := make([]time.Duration, len(resps))
+	for i, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		nanos, rest, err := decodeRespHeader(resp)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		handlers[i] = time.Duration(nanos)
+		var pairs []DeltaPair
+		if patches[i], pairs, err = decodeRepairResp(i, rest); err != nil {
+			return nil, err
+		}
+		// Fold the worker's net baseline corrections in place: repaired
+		// sets may cover different nodes now, and the in-place fold keeps
+		// later greedy runs exact without the full O(θ) degree re-report a
+		// rebuildBaseline would broadcast. (If a quarantine follows below,
+		// the recovery path rebuilds from zero and overwrites this.)
+		for _, p := range pairs {
+			if int(p.Node) >= len(c.baseDeg) {
+				return nil, &FrameIntegrityError{Worker: i, Reason: fmt.Sprintf(
+					"repair delta node %d outside item space %d", p.Node, len(c.baseDeg))}
+			}
+			c.baseDeg[p.Node] += int64(p.Dec)
+		}
+		c.met.RepairedSets += int64(len(patches[i]))
+		c.record(i, req, 0, 0)
+	}
+	c.met.UpdateCalls++
+	c.account("gen", wall, handlers)
+	if len(downs) > 0 {
+		if err := c.repair(downs, nil); err != nil {
+			return nil, err
+		}
+		return nil, &RebalancedError{Quarantined: downs}
+	}
+	return patches, nil
+}

@@ -91,7 +91,24 @@ type Worker struct {
 	// plus this remainder.
 	auxBatch rrset.BatchStats
 
+	// lanes[t] is the lane seed RR set t was generated from — the repair
+	// provenance of the dynamic-graph subsystem (internal/mutate). Every
+	// generation path appends here (peeked via AppendLaneSeeds before
+	// sampling, so the seeds match the merge order of the sets); ingest
+	// does not, which handleUpdate detects via lanesComplete.
+	lanes []uint64
+	// repairer is the lazily built scalar sampler used only for
+	// ResampleLane during incremental repair.
+	repairer *rrset.Sampler
+
 	pairBuf []DeltaPair
+
+	// degStamp/degRound dedupe the nodes repairDeltas touches. Its
+	// corrections are signed and can transit zero, so degreeDelta's
+	// decScratch==0 first-touch test would double-append; a per-round
+	// stamp cannot.
+	degStamp []uint32
+	degRound uint32
 }
 
 // stats assembles the worker's cumulative collection and batching
@@ -170,6 +187,9 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 			// (masters needing more issue multiple requests).
 			return nil, fmt.Errorf("generation count %d exceeds the per-request cap %d", count, int64(maxGenerateBatch))
 		}
+		// Journal the new sets' lane seeds before sampling advances the
+		// shard counters (repair provenance; see the lanes field).
+		w.lanes = w.sampler.AppendLaneSeeds(w.lanes, count)
 		w.sampler.SampleManyInto(w.coll, count)
 		// The index is NOT invalidated here: ensureIndex extends it
 		// incrementally over just the new RR sets (Index.AppendFrom).
@@ -207,6 +227,7 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 		w.idx = nil
 		w.covered = nil
 		w.reported = 0
+		w.lanes = w.lanes[:0]
 		return encodeAckResp(time.Since(start).Nanoseconds()), nil
 
 	case msgIngest:
@@ -255,6 +276,9 @@ func (w *Worker) dispatch(req []byte) ([]byte, error) {
 			return nil, err
 		}
 		return encodeStatsResp(0, time.Since(start).Nanoseconds(), w.stats()), nil
+
+	case msgUpdate:
+		return w.handleUpdate(req[1:], start)
 
 	case msgCoverage:
 		seeds, err := decodeCoverageReq(req[1:])
@@ -362,6 +386,7 @@ func (w *Worker) generateAux(streamSeed uint64, count int64) error {
 			return err
 		}
 	}
+	w.lanes = aux.AppendLaneSeeds(w.lanes, count)
 	aux.SampleManyInto(w.coll, count)
 	w.auxBatch.Add(aux.BatchStats())
 	return nil
@@ -527,6 +552,9 @@ func (w *Worker) coverageOf(seeds []uint32) (int64, error) {
 		}
 		for si := 0; si < w.idx.NumSegments(); si++ {
 			for _, j := range w.idx.SegCovers(si, s) {
+				if j&rrset.DeadPosting != 0 {
+					continue
+				}
 				if w.covMark[j] != w.covEpoch {
 					w.covMark[j] = w.covEpoch
 					covered++

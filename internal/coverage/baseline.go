@@ -37,6 +37,9 @@ func NaiveGreedy(c *rrset.Collection, idx *rrset.Index, n, k int) (*Result, erro
 		res.Marginals = append(res.Marginals, bestDeg)
 		res.Coverage += bestDeg
 		for _, j := range idx.Covers(u) {
+			if j&rrset.DeadPosting != 0 {
+				continue
+			}
 			if covered[j] {
 				continue
 			}
@@ -73,6 +76,9 @@ func BruteForceOptimum(c *rrset.Collection, idx *rrset.Index, n, k int) (int64, 
 	for v := 0; v < n; v++ {
 		m := make([]uint64, words)
 		for _, j := range idx.Covers(uint32(v)) {
+			if j&rrset.DeadPosting != 0 {
+				continue
+			}
 			m[j/64] |= 1 << (j % 64)
 		}
 		masks[v] = m

@@ -93,6 +93,14 @@ func (k *SelectKernel) Grow(n int) {
 func (k *SelectKernel) Select(c *rrset.Collection, idx *rrset.Index, covered *bitset.Bits, u uint32) {
 	covers := k.flatCovers(idx, u)
 	p := k.par
+	if idx.Patched() {
+		// A patched index's covers lists are not globally ascending
+		// (overlay postings trail, tombstones intersperse), which breaks
+		// the word-disjoint chunking below; scan sequentially. Output is
+		// unchanged — coverage marking is order-invariant and the merge
+		// order argument is moot with one shard.
+		p = 1
+	}
 	if pmax := len(covers) / minParallelCovers; p > pmax {
 		p = pmax
 	}
@@ -180,6 +188,9 @@ func (k *SelectKernel) ensureShards(p int) {
 // covers, mark it covered and count its members into dec/touched.
 func scanCoverChunk(c *rrset.Collection, covered *bitset.Bits, covers []uint32, dec []int32, touched []uint32) []uint32 {
 	for _, j := range covers {
+		if j&rrset.DeadPosting != 0 {
+			continue // tombstoned by an in-place repair
+		}
 		if covered.Get(int(j)) {
 			continue
 		}

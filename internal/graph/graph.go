@@ -51,10 +51,17 @@ type Graph struct {
 	// enable subset sampling with geometric jumps.
 	uniformIn bool
 
-	// hashOnce/hash memoize ContentHash. Graph is immutable once built and
-	// always handled by pointer, so the sync.Once copy restriction is moot.
+	// hashOnce/hash memoize the base (version-0) content hash. The graph
+	// is always handled by pointer, so the sync.Once copy restriction is
+	// moot. ContentHash layers a per-version chained hash on top when the
+	// graph has been mutated (see mutate.go).
 	hashOnce sync.Once
 	hash     string
+
+	// mut holds all dynamic-graph state (overlay adjacency, version,
+	// chained hash); nil for frozen graphs, so the frozen hot paths pay
+	// one pointer test. See mutate.go.
+	mut *mutState
 }
 
 // NumNodes returns n, the number of nodes.

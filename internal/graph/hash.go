@@ -7,19 +7,31 @@ import (
 	"math"
 )
 
-// ContentHash returns a stable fingerprint of the graph's content:
-// "sha256:" + hex of a SHA-256 over the node/edge counts, the out-CSR
-// arrays, and the edge probabilities. Two graphs hash equal iff they
-// have identical topology and identical weights, regardless of how they
-// were loaded (edge list, binary file, generator). The in-CSR is
-// excluded — it is derived deterministically from the out-CSR, so
-// hashing it would only slow the pass without adding discrimination.
+// ContentHash returns a stable fingerprint of the graph's content at its
+// current version. For a frozen (or never-mutated) graph it is the base
+// hash: "sha256:" + hex of a SHA-256 over the node/edge counts, the
+// out-CSR arrays, and the edge probabilities. After ApplyUpdates it is
+// the chained hash SHA-256(previous hash ‖ batch), recomputed per batch —
+// so a mutation always changes the reported hash, and two graphs hash
+// equal iff they took the same base through the same update history.
 //
-// The hash pins checkpoints (internal/store fingerprints) and future
-// caches to the exact substrate they were computed on. It is memoized;
-// the first call streams ~12 bytes/edge through SHA-256, subsequent
-// calls are free.
+// The hash pins checkpoints (internal/store fingerprints) and caches to
+// the exact substrate they were computed on.
 func (g *Graph) ContentHash() string {
+	if g.mut != nil && g.mut.version > 0 {
+		return g.mut.hash
+	}
+	return g.BaseHash()
+}
+
+// BaseHash returns the version-0 content hash — the fingerprint of the
+// graph as built, before any mutation. Store fingerprints use it so a
+// checkpoint plus its recorded graph-delta segments remains restorable
+// onto a freshly loaded base graph. It is memoized; the first call
+// streams ~12 bytes/edge through SHA-256, subsequent calls are free.
+// Call it before the first ApplyUpdates: the base CSR must still be
+// unmutated for the streamed bytes to describe version 0.
+func (g *Graph) BaseHash() string {
 	g.hashOnce.Do(func() {
 		h := sha256.New()
 		var hdr [8]byte

@@ -13,6 +13,7 @@ package rrset
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Collection is an append-only set of RR sets in arena storage.
@@ -80,6 +81,76 @@ func (c *Collection) AppendCollection(o *Collection) {
 		c.offs = append(c.offs, base+off)
 	}
 	c.edgesExamined += o.edgesExamined
+}
+
+// Patch replaces the members of the RR set at position Pos. It is the
+// exchange format of dynamic-graph repair: a worker recomputes exactly
+// the sets whose traversal a mutation could have changed and ships the
+// new members, keyed by position, so every replica (master mirrors,
+// checkpoints) can splice the same bytes into the same slots.
+type Patch struct {
+	Pos     int
+	Members []uint32
+}
+
+// ApplyPatches rewrites the collection with each patched position
+// replaced by its new members; all other sets keep their bytes and
+// positions. The rebuild allocates fresh arenas, so Snapshots taken
+// before the call remain valid views of the pre-repair sample (readers
+// drain against the old epoch while the repair installs). Positions out
+// of range or duplicated are an error; edgesExamined is preserved (it is
+// a lifetime generation counter, not a property of the resident bytes).
+func (c *Collection) ApplyPatches(patches []Patch) error {
+	if len(patches) == 0 {
+		return nil
+	}
+	count := c.Count()
+	// Merge-walk over position order: the unpatched runs between
+	// consecutive patches copy as single bulk appends and their offsets
+	// shift by plain arithmetic, so the rewrite costs O(nodes) memcpy +
+	// O(patches log patches), not a map probe per resident set.
+	order := make([]int, len(patches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return patches[order[a]].Pos < patches[order[b]].Pos })
+	total := int64(len(c.nodes))
+	for k, oi := range order {
+		p := patches[oi]
+		if p.Pos < 0 || p.Pos >= count {
+			return fmt.Errorf("rrset: patch position %d out of range [0,%d)", p.Pos, count)
+		}
+		if k > 0 && patches[order[k-1]].Pos == p.Pos {
+			return fmt.Errorf("rrset: duplicate patch for position %d", p.Pos)
+		}
+		total += int64(len(p.Members)) - (c.offs[p.Pos+1] - c.offs[p.Pos])
+	}
+	nodes := make([]uint32, 0, total)
+	offs := make([]int64, 1, count+1)
+	copyRun := func(from, to int) { // unpatched sets [from, to)
+		if to <= from {
+			return
+		}
+		base := int64(len(nodes)) - c.offs[from]
+		nodes = append(nodes, c.nodes[c.offs[from]:c.offs[to]]...)
+		at := len(offs)
+		offs = offs[:at+(to-from)]
+		for i, o := range c.offs[from+1 : to+1] {
+			offs[at+i] = o + base
+		}
+	}
+	prev := 0
+	for _, oi := range order {
+		p := patches[oi]
+		copyRun(prev, p.Pos)
+		nodes = append(nodes, p.Members...)
+		offs = append(offs, int64(len(nodes)))
+		prev = p.Pos + 1
+	}
+	copyRun(prev, count)
+	c.nodes = nodes
+	c.offs = offs
+	return nil
 }
 
 // WireSize returns the number of bytes AppendWire adds: a u32 set count,
@@ -219,10 +290,29 @@ type Index struct {
 	count int // number of RR sets indexed
 	segs  []indexSeg
 
+	// Patch state (see ApplyPatches): repaired RR sets change membership
+	// in place, which the CSR segments cannot express by resizing. A
+	// posting removed by a patch is tombstoned by setting DeadPosting on
+	// its id (preserving the masked ascending order, so binary search
+	// still works); a posting added by a patch lands in the per-node
+	// overlay, exposed to consumers as one extra virtual segment. dead
+	// and overlayLen track the accumulated debt that triggers a
+	// compacting rebuild; degAdj corrects Degree for both.
+	overlay    map[uint32][]uint32
+	overlayLen int
+	dead       int
+	degAdj     []int32
+
 	// fullBuilds counts from-scratch constructions (instrumentation for
 	// the incremental-maintenance guarantee; see Worker.ensureIndex).
 	fullBuilds int
 }
+
+// DeadPosting marks a tombstoned id inside an index segment's posting
+// list: a repaired RR set no longer containing the node. Consumers
+// iterating SegCovers or Covers must skip ids with this bit set. Live
+// ids never carry it (BuildIndex rejects collections with 2^31 sets).
+const DeadPosting = 1 << 31
 
 // indexSeg is one CSR segment covering RR sets [from, from+countable).
 type indexSeg struct {
@@ -262,9 +352,7 @@ func (idx *Index) AppendFrom(c *Collection, from int) error {
 		return nil
 	}
 	if len(idx.segs) >= maxIndexSegments {
-		idx.segs = idx.segs[:0]
-		idx.count = 0
-		idx.fullBuilds++
+		idx.reset()
 		from = 0
 	}
 	return idx.appendSeg(c, from)
@@ -310,38 +398,55 @@ func (s *indexSeg) covers(v uint32) []uint32 {
 }
 
 // Covers returns the ids of RR sets containing node v, in ascending
-// order. With a single segment (any freshly built index) the result
-// aliases internal storage and must not be modified; after incremental
-// growth it concatenates the per-segment lists into a fresh slice. Hot
-// paths should prefer NumSegments/SegCovers, which never allocate.
+// order (plus overlay postings, unordered, at the tail of a patched
+// index — and possibly DeadPosting-tombstoned entries, which the caller
+// must skip). With a single unpatched segment (any freshly built index)
+// the result aliases internal storage and must not be modified;
+// otherwise it concatenates the per-segment lists into a fresh slice.
+// Hot paths should prefer NumSegments/SegCovers, which never allocate.
 func (idx *Index) Covers(v uint32) []uint32 {
-	if len(idx.segs) == 1 {
+	if len(idx.segs) == 1 && idx.overlay == nil {
 		return idx.segs[0].covers(v)
 	}
 	var out []uint32
 	for i := range idx.segs {
 		out = append(out, idx.segs[i].covers(v)...)
 	}
-	return out
+	return append(out, idx.overlay[v]...)
 }
 
-// NumSegments returns how many CSR segments the index holds (1 after a
-// full build, +1 per incremental AppendFrom).
-func (idx *Index) NumSegments() int { return len(idx.segs) }
+// NumSegments returns how many segments the index holds: 1 after a full
+// build, +1 per incremental AppendFrom, +1 virtual overlay segment while
+// the index carries patches (see ApplyPatches).
+func (idx *Index) NumSegments() int {
+	if idx.overlay != nil {
+		return len(idx.segs) + 1
+	}
+	return len(idx.segs)
+}
 
 // SegCovers returns segment si's ids of RR sets containing v. The slice
 // aliases internal storage; do not modify. Iterating si in ascending
 // order yields the same id sequence as Covers, with zero allocation.
+// On a patched index, entries carrying DeadPosting must be skipped and
+// the final (overlay) segment's ids are not in ascending range order.
 func (idx *Index) SegCovers(si int, v uint32) []uint32 {
-	return idx.segs[si].covers(v)
+	if si < len(idx.segs) {
+		return idx.segs[si].covers(v)
+	}
+	return idx.overlay[v]
 }
 
 // Degree returns how many indexed RR sets contain v (the initial coverage
-// Δ_i(v) of Algorithm 1 line 3).
+// Δ_i(v) of Algorithm 1 line 3). Exact on patched indexes: the per-node
+// adjustment counts tombstones out and overlay postings in.
 func (idx *Index) Degree(v uint32) int {
 	var d int64
 	for i := range idx.segs {
 		d += idx.segs[i].start[v+1] - idx.segs[i].start[v]
+	}
+	if idx.degAdj != nil {
+		d += int64(idx.degAdj[v])
 	}
 	return int(d)
 }

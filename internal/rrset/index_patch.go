@@ -1,0 +1,172 @@
+package rrset
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// This file is the in-place repair path of the inverted index. A graph
+// update regenerates a small fraction of the resident RR sets at their
+// original positions (see internal/mutate); rebuilding the whole index
+// for that — the historic behavior — costs O(total RR size) per update
+// and dominates the repair wall clock. ApplyPatches instead edits only
+// the postings whose membership actually changed: O(changed postings),
+// independent of theta.
+//
+// Representation: removals tombstone the posting in its CSR segment by
+// setting DeadPosting on the id (masked order stays ascending, so the
+// posting is found by binary search); additions go to a per-node overlay
+// exposed as one virtual trailing segment. Re-additions resurrect the
+// tombstone in place when one exists. Consumers skip dead entries; the
+// coverage kernel drops to its sequential path while an index is
+// patched, because the overlay breaks the globally-ascending id order
+// its parallel chunking relies on. Accumulated debt (tombstones +
+// overlay) beyond a quarter of the postings triggers a compacting full
+// rebuild, keeping scan overhead bounded amortized.
+
+// Patched reports whether the index carries in-place patches (tombstoned
+// or overlay postings). A patched index is exact but its posting lists
+// are no longer globally ascending; order-dependent consumers (the
+// parallel coverage kernel) must fall back to sequential scans.
+func (idx *Index) Patched() bool { return idx.overlay != nil || idx.dead > 0 }
+
+// ApplyPatches edits the index in place to reflect the membership
+// patches about to be applied to c. It MUST be called before
+// c.ApplyPatches(patches): the pre-patch membership of each patched set
+// is read from c to compute the posting diff. Positions are unchanged
+// by repair, so only memberships move.
+func (idx *Index) ApplyPatches(c *Collection, patches []Patch) error {
+	if idx.count != c.Count() {
+		return fmt.Errorf("rrset: index covers %d RR sets but the collection holds %d", idx.count, c.Count())
+	}
+	if len(patches) == 0 {
+		return nil
+	}
+	// Compact first when the accumulated debt got too big: the index
+	// still matches c's pre-patch membership here, so a full rebuild
+	// from c is valid, and the patches below then apply to fresh state.
+	if idx.dead+idx.overlayLen > idx.postings()/4 {
+		idx.reset()
+		if err := idx.appendSeg(c, 0); err != nil {
+			return err
+		}
+	}
+	if idx.degAdj == nil {
+		idx.degAdj = make([]int32, idx.n)
+	}
+	if idx.overlay == nil {
+		idx.overlay = make(map[uint32][]uint32)
+	}
+	var oldBuf, newBuf []uint32
+	for _, p := range patches {
+		if p.Pos < 0 || p.Pos >= idx.count {
+			return fmt.Errorf("rrset: patch position %d outside the %d indexed RR sets", p.Pos, idx.count)
+		}
+		t := uint32(p.Pos)
+		oldBuf = append(oldBuf[:0], c.Set(p.Pos)...)
+		newBuf = append(newBuf[:0], p.Members...)
+		slices.Sort(oldBuf)
+		slices.Sort(newBuf)
+		// Two-pointer diff over the sorted memberships: postings present
+		// only in old die, postings present only in new are born.
+		i, j := 0, 0
+		for i < len(oldBuf) || j < len(newBuf) {
+			switch {
+			case j == len(newBuf) || (i < len(oldBuf) && oldBuf[i] < newBuf[j]):
+				if err := idx.killPosting(oldBuf[i], t); err != nil {
+					return err
+				}
+				i++
+			case i == len(oldBuf) || newBuf[j] < oldBuf[i]:
+				if err := idx.addPosting(newBuf[j], t); err != nil {
+					return err
+				}
+				j++
+			default: // membership unchanged
+				i++
+				j++
+			}
+		}
+	}
+	return nil
+}
+
+// postings returns the total number of segment postings (live + dead).
+func (idx *Index) postings() int {
+	var total int
+	for i := range idx.segs {
+		total += len(idx.segs[i].ids)
+	}
+	return total
+}
+
+// reset drops all index state for a from-scratch rebuild.
+func (idx *Index) reset() {
+	idx.segs = idx.segs[:0]
+	idx.count = 0
+	idx.overlay = nil
+	idx.overlayLen = 0
+	idx.dead = 0
+	idx.degAdj = nil
+	idx.fullBuilds++
+}
+
+// killPosting removes the live posting (v, t): spliced out of the
+// overlay if it was patch-born, tombstoned in its owning segment
+// otherwise. An absent posting means the index diverged from the
+// collection — surfaced as an error, never silently absorbed.
+func (idx *Index) killPosting(v, t uint32) error {
+	if ov, ok := idx.overlay[v]; ok {
+		for i, id := range ov {
+			if id == t {
+				idx.overlay[v] = append(ov[:i], ov[i+1:]...)
+				idx.overlayLen--
+				idx.degAdj[v]--
+				return nil
+			}
+		}
+	}
+	list, pos, ok := idx.findSegPosting(v, t)
+	if !ok || list[pos]&DeadPosting != 0 {
+		return fmt.Errorf("rrset: removing posting (%d, %d) the index does not hold", v, t)
+	}
+	list[pos] |= DeadPosting
+	idx.dead++
+	idx.degAdj[v]--
+	return nil
+}
+
+// addPosting inserts the posting (v, t): resurrecting its tombstone in
+// place when the segment holds one, appending to the overlay otherwise.
+func (idx *Index) addPosting(v, t uint32) error {
+	if list, pos, ok := idx.findSegPosting(v, t); ok {
+		if list[pos]&DeadPosting == 0 {
+			return fmt.Errorf("rrset: adding posting (%d, %d) the index already holds", v, t)
+		}
+		list[pos] &^= DeadPosting
+		idx.dead--
+		idx.degAdj[v]++
+		return nil
+	}
+	idx.overlay[v] = append(idx.overlay[v], t)
+	idx.overlayLen++
+	idx.degAdj[v]++
+	return nil
+}
+
+// findSegPosting locates id t in v's posting list of the segment owning
+// t's id range, by binary search over the tombstone-masked (ascending)
+// ids. Returns the list, the position, and whether the posting exists.
+func (idx *Index) findSegPosting(v, t uint32) ([]uint32, int, bool) {
+	si := sort.Search(len(idx.segs), func(i int) bool { return idx.segs[i].from > int(t) }) - 1
+	if si < 0 {
+		return nil, 0, false
+	}
+	list := idx.segs[si].covers(v)
+	pos := sort.Search(len(list), func(i int) bool { return list[i]&^DeadPosting >= t })
+	if pos == len(list) || list[pos]&^DeadPosting != t {
+		return nil, 0, false
+	}
+	return list, pos, true
+}

@@ -88,6 +88,13 @@ func NewSampler(g *graph.Graph, model diffusion.Model, seed uint64, subset bool)
 	if subset && !g.UniformIn() {
 		return nil, fmt.Errorf("rrset: subset sampling requires per-node-uniform incoming probabilities (weighted-cascade weights)")
 	}
+	if subset && g.MutationEnabled() {
+		// Geometric jumps consume a variable number of draws per scan and
+		// divide by log(1-p), so neither positional coin stability nor
+		// p = 0 tombstones survive subset mode. Dynamic graphs use the
+		// dense kernel.
+		return nil, fmt.Errorf("rrset: subset sampling is incompatible with a mutation-enabled graph (coin positions are not stable under updates)")
+	}
 	if model == diffusion.LT {
 		if err := g.ValidateLT(); err != nil {
 			return nil, err
@@ -171,6 +178,37 @@ func (s *Sampler) SampleInto(c *Collection) (size int, probes int64) {
 	return size, probes
 }
 
+// ResampleLane re-runs RR-set generation for one explicit lane seed on
+// the graph's current version, without touching the sampler's stream
+// counter or appending anywhere. Because every draw an RR traversal
+// consumes is a pure function of (lane seed, node, draw position),
+// ResampleLane(xrand.LaneSeed(base, t)) IS set t of stream base as it
+// would have been sampled on this graph — the incremental-repair
+// primitive: recomputing an RR set after a graph mutation keeps the
+// whole sample exactly i.i.d. on the new graph (see internal/mutate).
+// The returned slice aliases the sampler's scratch queue; copy it before
+// the next sampling call.
+func (s *Sampler) ResampleLane(laneSeed uint64) ([]uint32, int64) {
+	s.lane.Seed(laneSeed)
+	var root uint32
+	if s.roots != nil {
+		root = uint32(s.roots.Sample(&s.lane))
+	} else {
+		root = s.lane.Uint32n(uint32(s.g.NumNodes()))
+	}
+	var size int
+	var probes int64
+	switch s.model {
+	case diffusion.IC:
+		size, probes = s.sampleIC(root, laneSeed)
+	case diffusion.LT:
+		size, probes = s.sampleLT(root)
+	default:
+		panic(fmt.Sprintf("rrset: unknown model %v", s.model))
+	}
+	return s.queue[:size], probes
+}
+
 // SampleManyInto generates count RR sets into c.
 func (s *Sampler) SampleManyInto(c *Collection, count int64) {
 	for i := int64(0); i < count; i++ {
@@ -196,7 +234,8 @@ func (s *Sampler) sampleIC(root uint32, laneSeed uint64) (int, int64) {
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
 		adj, prob := s.g.InNeighbors(u)
-		if len(adj) == 0 {
+		over := s.g.InOverlay(u)
+		if len(adj) == 0 && len(over) == 0 {
 			continue
 		}
 		s.scan.Seed(xrand.ScanSeed(laneSeed, u))
@@ -226,6 +265,18 @@ func (s *Sampler) sampleIC(root uint32, laneSeed uint64) (int, int64) {
 				s.queue = append(s.queue, up)
 			}
 		}
+		// Overlay in-edges (added by mutation) continue the same scan
+		// stream: overlay entry j draws coin number len(adj)+j, the
+		// position it was assigned at ApplyUpdates. Tombstoned entries
+		// (p = 0) still consume a draw but can never succeed, exactly
+		// like tombstoned base slots.
+		for _, e := range over {
+			probes++
+			if s.scan.Float64() < float64(e.Prob) && s.visited[e.Node] != s.epoch {
+				s.visited[e.Node] = s.epoch
+				s.queue = append(s.queue, e.Node)
+			}
+		}
 	}
 	return len(s.queue), probes
 }
@@ -245,34 +296,62 @@ func (s *Sampler) sampleLT(root uint32) (int, int64) {
 	u := root
 	for {
 		adj, prob := s.g.InNeighbors(u)
-		if len(adj) == 0 {
+		over := s.g.InOverlay(u)
+		if len(adj) == 0 && len(over) == 0 {
 			break
 		}
 		sum := s.g.InProbSum(u)
 		x := s.lane.Float64()
 		if x >= sum {
+			// Also the exit when every in-edge of u is tombstoned
+			// (sum = 0): x >= 0 always holds.
 			probes++
 			break
 		}
 		var next uint32
 		if s.g.UniformIn() {
-			// Equal weights: the proportional draw is uniform.
+			// Equal weights: the proportional draw is uniform. (Mutated
+			// graphs clear uniformIn, so this path never sees overlays.)
 			next = adj[int(x/sum*float64(len(adj)))%len(adj)]
 			probes++
 		} else {
+			// Cumulative scan over base slots then overlay entries.
+			// Tombstones (p = 0) never advance acc, so they cannot be
+			// picked; the round-off fallback keeps the last live slot.
 			acc := 0.0
-			picked := false
+			picked, haveLive := false, false
+			var lastLive uint32
 			for i, up := range adj {
 				probes++
-				acc += float64(prob[i])
-				if x < acc {
-					next = up
-					picked = true
-					break
+				if p := float64(prob[i]); p > 0 {
+					lastLive, haveLive = up, true
+					acc += p
+					if x < acc {
+						next = up
+						picked = true
+						break
+					}
+				}
+			}
+			if !picked {
+				for _, e := range over {
+					probes++
+					if p := float64(e.Prob); p > 0 {
+						lastLive, haveLive = e.Node, true
+						acc += p
+						if x < acc {
+							next = e.Node
+							picked = true
+							break
+						}
+					}
 				}
 			}
 			if !picked { // float round-off at the boundary
-				next = adj[len(adj)-1]
+				if !haveLive {
+					break
+				}
+				next = lastLive
 			}
 		}
 		if s.visited[next] == s.epoch {

@@ -17,12 +17,18 @@ type shardSampler interface {
 	SampleManyInto(c *Collection, count int64)
 	setRoots(a *xrand.Alias)
 	batchStats() BatchStats
+	// laneState exposes (stream seed, lifetime set counter) so the lane
+	// seeds of upcoming sets can be computed without sampling them — the
+	// per-set provenance a dynamic-graph worker journals for repair.
+	laneState() (base, setCtr uint64)
 }
 
-func (s *Sampler) setRoots(a *xrand.Alias)      { s.roots = a }
-func (s *Sampler) batchStats() BatchStats       { return BatchStats{} }
-func (s *BatchSampler) setRoots(a *xrand.Alias) { s.roots = a }
-func (s *BatchSampler) batchStats() BatchStats  { return s.Stats() }
+func (s *Sampler) setRoots(a *xrand.Alias)          { s.roots = a }
+func (s *Sampler) batchStats() BatchStats           { return BatchStats{} }
+func (s *Sampler) laneState() (uint64, uint64)      { return s.base, s.setCtr }
+func (s *BatchSampler) setRoots(a *xrand.Alias)     { s.roots = a }
+func (s *BatchSampler) batchStats() BatchStats      { return s.Stats() }
+func (s *BatchSampler) laneState() (uint64, uint64) { return s.base, s.setCtr }
 
 // ShardedSampler fans RR-set generation across P shard samplers, each a
 // private sampler with its own RNG stream and scratch state, generating
@@ -63,6 +69,12 @@ func NewShardedSamplerBatch(g *graph.Graph, model diffusion.Model, seed uint64, 
 		parallelism = 1
 	}
 	if batch < 1 {
+		batch = 1
+	}
+	if g.MutationEnabled() {
+		// The frontier-batched kernel does not scan overlay adjacency;
+		// dynamic graphs run the scalar kernel. Batch width is not part
+		// of stream identity, so coercion never changes output bytes.
 		batch = 1
 	}
 	ss := &ShardedSampler{
@@ -129,6 +141,33 @@ func (ss *ShardedSampler) SetRootWeights(weights []float64) error {
 		s.setRoots(a)
 	}
 	return nil
+}
+
+// AppendLaneSeeds appends the lane seeds of the next count sets this
+// sampler would generate, in merge order, without sampling anything or
+// advancing any stream. Because a request for count sets is always split
+// per/extra across shards in shard order, set j of the upcoming round
+// maps deterministically to (shard, local offset); the lane seed is then
+// xrand.LaneSeed(shard stream seed, shard set counter + offset). Callers
+// that journal per-set provenance (dynamic-graph repair) call this
+// immediately before SampleManyInto with the same count.
+func (ss *ShardedSampler) AppendLaneSeeds(dst []uint64, count int64) []uint64 {
+	if count <= 0 {
+		return dst
+	}
+	p := int64(len(ss.shards))
+	per, extra := count/p, count%p
+	for i, s := range ss.shards {
+		n := per
+		if int64(i) < extra {
+			n++
+		}
+		base, ctr := s.laneState()
+		for j := int64(0); j < n; j++ {
+			dst = append(dst, xrand.LaneSeed(base, ctr+uint64(j)))
+		}
+	}
+	return dst
 }
 
 // SampleManyInto generates count RR sets into c: each shard samples its

@@ -8,11 +8,14 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dimm/internal/graph"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/seeds   {"k": 10, "eps": 0.2}        → Answer
+//	POST /v1/update  {"seq": 1, "ops": [...]}     → UpdateResult (dynamic services)
 //	GET  /v1/spread?seeds=1,2,3&rounds=10000      → spread estimate
 //	GET  /healthz                                 → 200 "ok"
 //	GET  /statsz                                  → Stats
@@ -24,6 +27,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/seeds", s.instrument("seeds", true, s.handleSeeds))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", true, s.handleUpdate))
 	mux.HandleFunc("GET /v1/spread", s.instrument("spread", true, s.handleSpread))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, func(w http.ResponseWriter, r *http.Request) error {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -125,6 +129,52 @@ func (s *Service) handleSeeds(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	writeJSON(w, http.StatusOK, ans)
+	return nil
+}
+
+// updateRequest is the POST /v1/update body. Seq zero asks the service
+// to assign the next sequence number; clients that retry after a lost
+// ACK or a 503 should send an explicit seq so the replay is idempotent.
+type updateRequest struct {
+	Seq uint64     `json:"seq"`
+	Ops []updateOp `json:"ops"`
+}
+
+type updateOp struct {
+	Op   string  `json:"op"` // "add" | "remove" | "reweight"
+	From uint32  `json:"from"`
+	To   uint32  `json:"to"`
+	Prob float32 `json:"prob,omitempty"`
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) error {
+	var req updateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	ops := make([]graph.EdgeUpdate, len(req.Ops))
+	for i, op := range req.Ops {
+		eu := graph.EdgeUpdate{From: op.From, To: op.To, Prob: op.Prob}
+		switch op.Op {
+		case "add":
+			eu.Op = graph.OpAdd
+		case "remove":
+			eu.Op = graph.OpRemove
+		case "reweight":
+			eu.Op = graph.OpReweight
+		default:
+			return &httpError{http.StatusBadRequest,
+				fmt.Sprintf("op %d has unknown kind %q (want add|remove|reweight)", i, op.Op)}
+		}
+		ops[i] = eu
+	}
+	res, err := s.Update(req.Seq, ops)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, res)
 	return nil
 }
 

@@ -60,6 +60,18 @@ type Config struct {
 	// width restores correctly at any other.
 	Batch int
 
+	// Dynamic enables the streaming graph-update API (POST /v1/update):
+	// the graph is switched into mutable-overlay mode before the clusters
+	// are built, and edge-update batches flow through the cluster RPC to
+	// the workers, which repair the resident RR sample incrementally
+	// (internal/mutate) instead of discarding it. Incompatible with
+	// Subset (subset sampling assumes a frozen uniform weight; the
+	// samplers reject mutable graphs) and with Restore (a restored sample
+	// has no lane provenance, so it could not be repaired — dynamic
+	// services start cold; their checkpoints record graph-delta segments
+	// for offline tooling instead).
+	Dynamic bool
+
 	// SketchK sets the bottom-k size of the resident sketch tier backing
 	// ?mode=fast queries (internal/sketch): 0 selects
 	// core.DefaultSketchK, negative disables the fast tier entirely.
@@ -178,6 +190,10 @@ type Answer struct {
 	// computed on; Theta is that sample's size (per collection).
 	Epoch uint64 `json:"epoch"`
 	Theta int64  `json:"theta"`
+	// GraphVersion is the graph-update sequence number the answering
+	// sample was repaired to — 0 until the first POST /v1/update. The
+	// certificate certifies the answer on exactly this graph version.
+	GraphVersion uint64 `json:"graph_version,omitempty"`
 
 	// The OPIM-C certificate: σ(Seeds) ≥ SpreadLower and OPT ≤ OptUpper,
 	// each with the service's δ budget, so Ratio ≥ 1 − 1/e − ε certifies
@@ -257,10 +273,23 @@ type Service struct {
 	// write-held only while growth appends and reindexes.
 	mu         sync.RWMutex
 	epoch      uint64
+	gver       uint64 // graph version the published sample is repaired to
 	r1, r2     *rrset.Collection
 	idx1, idx2 *rrset.Index
 	fetched1   []int // per-worker fetch cursors into the R1 cluster
 	fetched2   []int
+
+	// spans1/spans2 map worker-local RR positions to master positions in
+	// r1/r2 — the translation table for splicing worker repair patches
+	// into the mirrors. Written by the grower and the updater (both under
+	// growMu), read by the updater under growMu.
+	spans1, spans2 []cluster.FetchSpan
+
+	// updateDebt marks a partially applied update: the master graph
+	// advanced but the clusters (or the mirror splice) did not complete.
+	// While set, queries are refused 503 (the mirror's certificate no
+	// longer matches the graph) until a retried update heals the state.
+	updateDebt atomic.Bool
 
 	// growMu admits one grower at a time; queries needing more sample
 	// queue on it and re-check the epoch afterwards.
@@ -273,6 +302,7 @@ type Service struct {
 	// write-locks it to absorb a growth epoch. nil sk = tier disabled.
 	sketchMu   sync.RWMutex
 	sk         *sketch.Set
+	skEpoch    uint64 // sample epoch the sketch last absorbed or rebuilt to
 	skRestored bool
 
 	cache *answerCache
@@ -304,6 +334,15 @@ type serviceCounters struct {
 	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
 
 	degraded atomic.Int64 // requests refused 503 for lost worker capacity
+
+	// Dynamic-graph accounting: update batches applied, RR sets repaired
+	// in place across both mirrors, full re-mirrors forced by a cluster
+	// rebalance mid-update, and fast-mode queries that fell back to the
+	// certified tier because the sketch lagged the sample epoch.
+	updates      atomic.Int64
+	repairedSets atomic.Int64
+	remirrors    atomic.Int64
+	skStale      atomic.Int64
 
 	// Fast-tier accounting: sketch build passes and their wall time,
 	// estimator evaluations served, fast-mode queries per endpoint, and
@@ -344,6 +383,15 @@ func New(cfg Config) (*Service, error) {
 	budget, err := core.PlanResidentSample(n, cfg.KMax, cfg.EpsFloor, cfg.Delta)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Dynamic {
+		if cfg.Subset {
+			return nil, fmt.Errorf("serve: dynamic graphs cannot use subset sampling (the geometric-skip generator assumes frozen uniform weights)")
+		}
+		if cfg.Restore {
+			return nil, fmt.Errorf("serve: dynamic services cannot restore: a restored sample has no lane provenance to repair from; start cold or serve the checkpoint statically")
+		}
+		cfg.Graph.EnableMutation()
 	}
 	s := &Service{
 		cfg:    cfg,
@@ -542,6 +590,15 @@ func (s *Service) QueryMode(k int, eps float64, mode Mode) (*Answer, error) {
 	if mode == ModeFast && s.sk == nil {
 		return nil, badQueryf("serve: fast tier disabled (sketch-k < 0)")
 	}
+	if s.updateDebt.Load() {
+		// A graph update partially applied: the master graph moved past
+		// the resident mirror, so certificates no longer describe the
+		// current graph. Refuse with a retry hint until an update retry
+		// (idempotent, version-gated) heals the state.
+		s.stats.degraded.Add(1)
+		return nil, &DegradedError{RetryAfter: degradeRetryAfter,
+			Err: fmt.Errorf("serve: resident sample behind the graph after an interrupted update; retry the update")}
+	}
 	if ans, ok := s.cache.get(k, eps, mode); ok {
 		s.stats.queries.Add(1)
 		s.stats.cacheHits.Add(1)
@@ -582,6 +639,7 @@ func (s *Service) QueryMode(k int, eps float64, mode Mode) (*Answer, error) {
 func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool, error) {
 	s.mu.RLock()
 	epoch := s.epoch
+	gver := s.gver
 	theta := int64(s.r1.Count())
 	if theta == 0 {
 		s.mu.RUnlock()
@@ -616,17 +674,18 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 		return &Answer{Epoch: epoch}, false, nil
 	}
 	ans := &Answer{
-		K:           k,
-		Eps:         eps,
-		Seeds:       sel.Seeds,
-		Mode:        ModeCertified,
-		Epoch:       epoch,
-		Theta:       theta,
-		SpreadLower: cert.SpreadLower,
-		OptUpper:    cert.OptUpper,
-		Ratio:       cert.Ratio,
-		EstSpread:   float64(s.n) * float64(cov2) / float64(theta),
-		GrowRounds:  grew,
+		K:            k,
+		Eps:          eps,
+		Seeds:        sel.Seeds,
+		Mode:         ModeCertified,
+		Epoch:        epoch,
+		GraphVersion: gver,
+		Theta:        theta,
+		SpreadLower:  cert.SpreadLower,
+		OptUpper:     cert.OptUpper,
+		Ratio:        cert.Ratio,
+		EstSpread:    float64(s.n) * float64(cov2) / float64(theta),
+		GrowRounds:   grew,
 	}
 	s.cache.put(k, eps, ModeCertified, ans)
 	s.noteAgreement(ans)
@@ -648,6 +707,9 @@ func prefixCoverage(idx *rrset.Index, count int, seeds []uint32) []int64 {
 	for i, u := range seeds {
 		for si := 0; si < idx.NumSegments(); si++ {
 			for _, j := range idx.SegCovers(si, u) {
+				if j&rrset.DeadPosting != 0 {
+					continue
+				}
 				if !mark[j] {
 					mark[j] = true
 					covered++
@@ -686,6 +748,7 @@ func sketchCandidatePool(k, n int) int {
 func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, bool, error) {
 	s.sketchMu.RLock()
 	skTheta := s.sk.Theta()
+	skEpoch := s.skEpoch
 	var cands []uint32
 	var evals int
 	if skTheta > 0 {
@@ -696,10 +759,19 @@ func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, b
 
 	s.mu.RLock()
 	epoch := s.epoch
+	gver := s.gver
 	theta := int64(s.r1.Count())
 	if skTheta == 0 || theta == 0 || len(cands) == 0 {
 		s.mu.RUnlock()
 		return &Answer{Epoch: epoch}, false, nil // cold: growth builds the sketch
+	}
+	if skEpoch != epoch {
+		// The sketch lags the published sample (a growth or repair epoch
+		// it has not absorbed): its rankings are stale, so serve this
+		// query from the certified tier instead of pre-ranking on them.
+		s.mu.RUnlock()
+		s.stats.skStale.Add(1)
+		return s.tryServe(k, eps, target, grew)
 	}
 	sel, err := core.SelectFromSampleCandidates(s.r1, s.idx1, s.n, k, s.par, cands)
 	if err != nil {
@@ -736,6 +808,7 @@ func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, b
 		Seeds:        seeds,
 		Mode:         ModeFast,
 		Epoch:        epoch,
+		GraphVersion: gver,
 		Theta:        theta,
 		SpreadLower:  cert.SpreadLower,
 		OptUpper:     cert.OptUpper,
@@ -825,6 +898,7 @@ func (s *Service) grow(fromEpoch uint64) error {
 
 	new1 := rrset.NewCollection(1 << 12)
 	new2 := rrset.NewCollection(1 << 12)
+	var newSpans1, newSpans2 []cluster.FetchSpan
 	s.clusterMu.Lock()
 	err := func() error {
 		st1, err := s.c1.Generate(add)
@@ -842,10 +916,10 @@ func (s *Service) grow(fromEpoch uint64) error {
 		s.stats.batch2 = st2.Batch
 		s.stats.genCalls += 2
 		s.stats.batchMu.Unlock()
-		if s.fetched1, err = s.c1.FetchNew(s.fetched1, new1); err != nil {
+		if s.fetched1, newSpans1, err = s.c1.FetchNewSpans(s.fetched1, new1); err != nil {
 			return fmt.Errorf("serve: fetching R1 increment: %w", err)
 		}
-		if s.fetched2, err = s.c2.FetchNew(s.fetched2, new2); err != nil {
+		if s.fetched2, newSpans2, err = s.c2.FetchNewSpans(s.fetched2, new2); err != nil {
 			return fmt.Errorf("serve: fetching R2 increment: %w", err)
 		}
 		return nil
@@ -860,6 +934,17 @@ func (s *Service) grow(fromEpoch uint64) error {
 	s.mu.Lock()
 	err = func() error {
 		from1, from2 := s.r1.Count(), s.r2.Count()
+		// The fetch spans are relative to new1/new2; rebase them onto the
+		// resident mirrors before appending (only a dynamic service reads
+		// them, but recording is cheap and keeps one code path).
+		for _, sp := range newSpans1 {
+			sp.MasterStart += from1
+			s.spans1 = append(s.spans1, sp)
+		}
+		for _, sp := range newSpans2 {
+			sp.MasterStart += from2
+			s.spans2 = append(s.spans2, sp)
+		}
 		s.r1.AppendCollection(new1)
 		s.r2.AppendCollection(new2)
 		if s.idx1 == nil {
@@ -901,11 +986,13 @@ func (s *Service) updateSketch() {
 	}
 	s.mu.RLock()
 	snap := s.r1.Snapshot()
+	epoch := s.epoch
 	s.mu.RUnlock()
 	s.sketchMu.Lock()
 	start := time.Now()
 	added := core.BuildSketch(s.sk, snap, s.par)
 	d := time.Since(start)
+	s.skEpoch = epoch
 	s.sketchMu.Unlock()
 	if added > 0 {
 		s.stats.skBuilds.Add(1)
@@ -1074,6 +1161,20 @@ type Stats struct {
 	R2Workers []cluster.WorkerHealth `json:"r2_workers"`
 	Degraded  int64                  `json:"degraded"`
 
+	// Dynamic-graph figures: the graph-update sequence number the
+	// published sample reflects, how many update batches were applied,
+	// how many resident RR sets were repaired in place, how many updates
+	// fell back to a full re-mirror of the workers' samples, how many
+	// fast queries were bounced to the certified tier because the sketch
+	// lagged the sample epoch, and whether an interrupted update is
+	// currently degrading queries (healed by retrying the same batch).
+	GraphVersion uint64 `json:"graph_version"`
+	Updates      int64  `json:"updates"`
+	RepairedSets int64  `json:"repaired_rr_sets"`
+	Remirrors    int64  `json:"remirrors"`
+	SketchStale  int64  `json:"sketch_stale"`
+	UpdateDebt   bool   `json:"update_debt"`
+
 	InFlight int64                       `json:"in_flight"`
 	Rejected int64                       `json:"rejected"`
 	Uptime   float64                     `json:"uptime_seconds"`
@@ -1095,6 +1196,7 @@ func (st Stats) ReuseRate() float64 {
 func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	epoch := s.epoch
+	gver := s.gver
 	snap1, snap2 := s.r1.Snapshot(), s.r2.Snapshot()
 	s.mu.RUnlock()
 	st := Stats{
@@ -1132,6 +1234,13 @@ func (s *Service) Stats() Stats {
 		R1Workers: s.c1.Health(),
 		R2Workers: s.c2.Health(),
 		Degraded:  s.stats.degraded.Load(),
+
+		GraphVersion: gver,
+		Updates:      s.stats.updates.Load(),
+		RepairedSets: s.stats.repairedSets.Load(),
+		Remirrors:    s.stats.remirrors.Load(),
+		SketchStale:  s.stats.skStale.Load(),
+		UpdateDebt:   s.updateDebt.Load(),
 
 		InFlight: int64(len(s.sem)),
 		Rejected: s.http.rejected.Load(),

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dimm/internal/cluster"
+	"dimm/internal/core"
+	"dimm/internal/graph"
+	"dimm/internal/mutate"
+	"dimm/internal/rrset"
+	"dimm/internal/sketch"
+)
+
+// UpdateResult is one applied (or replayed) graph-update batch, the
+// payload of POST /v1/update.
+type UpdateResult struct {
+	// Applied is false when the batch's sequence number was already
+	// applied: the replay is acknowledged without re-executing, so a
+	// client that lost an ACK can safely resend.
+	Applied bool `json:"applied"`
+	// Seq is the batch's sequence number (assigned when the request left
+	// it zero) and GraphVersion the graph's version after the call; they
+	// are equal whenever the batch applied.
+	Seq          uint64 `json:"seq"`
+	GraphVersion uint64 `json:"graph_version"`
+	Ops          int    `json:"ops"`
+	// Repaired counts the resident RR sets regenerated in place across
+	// both mirrors; Remirrored reports the fallback where the mirrors
+	// were refetched wholesale instead (a cluster rebalanced mid-update,
+	// or a prior interrupted update left the mirror unsplicable).
+	Repaired   int  `json:"repaired_rr_sets"`
+	Remirrored bool `json:"remirrored"`
+	// Theta and Epoch describe the published sample after the update:
+	// Theta is unchanged by design (repair replaces sets one-for-one),
+	// Epoch advances so caches and sketches tied to the pre-update
+	// sample are invalidated.
+	Theta int64  `json:"theta"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// Update applies a batch of edge mutations to the graph and repairs the
+// resident RR sample in place (see internal/mutate and DESIGN.md): the
+// clusters re-run exactly the lanes whose RR sets a mutated edge could
+// have touched, the returned patches are spliced into the resident
+// mirrors through the fetch-span translation table, and the epoch
+// advances so every cache and sketch keyed to the old sample drops.
+//
+// Sequencing: seq must be Version()+1; zero asks the service to assign
+// the next number. A batch at or below the current version is an
+// idempotent replay — acknowledged, not re-executed — so clients retry
+// the same batch after a lost ACK or a 503. If a previous update was
+// interrupted after the graph advanced (updateDebt), the retry heals by
+// refetching the mirrors wholesale.
+//
+// Update serializes with growth on growMu; queries keep being answered
+// from the previous epoch until the single write-locked splice.
+func (s *Service) Update(seq uint64, ops []graph.EdgeUpdate) (*UpdateResult, error) {
+	if !s.cfg.Dynamic {
+		return nil, badQueryf("serve: this service is static; start it with dynamic graphs enabled to accept updates")
+	}
+	if s.closed.Load() {
+		return nil, fmt.Errorf("serve: service is closed")
+	}
+	if len(ops) == 0 {
+		return nil, badQueryf("serve: empty update batch")
+	}
+
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+
+	g := s.cfg.Graph
+	v := g.Version()
+	if seq == 0 {
+		seq = v + 1
+	}
+	debt := s.updateDebt.Load()
+	switch {
+	case seq == v+1:
+		// The next batch in sequence: validate before anything mutates.
+		if err := mutate.Validate(g, s.cfg.Model, mutate.Batch{Seq: seq, Ops: ops}); err != nil {
+			return nil, badQueryf("serve: %v", err)
+		}
+	case seq <= v && !(debt && seq == v):
+		// Already applied (and not the interrupted batch a retry must
+		// heal): acknowledge the replay without touching anything.
+		res := &UpdateResult{Applied: false, Seq: seq, GraphVersion: v, Ops: len(ops)}
+		s.mu.RLock()
+		res.Theta = int64(s.r1.Count())
+		res.Epoch = s.epoch
+		s.mu.RUnlock()
+		return res, nil
+	case seq == v && debt:
+		// Retrying the interrupted batch: the master graph already
+		// advanced, so skip validation (the ops are in the graph) and
+		// re-broadcast — worker applies are idempotent no-ops where
+		// already applied, and the mirror is healed below.
+	default:
+		return nil, badQueryf("serve: update seq %d out of order (graph is at version %d; next is %d)", seq, v, v+1)
+	}
+	batch := mutate.Batch{Seq: seq, Ops: ops}
+
+	// Master-first apply, inside clusterMu: in-process workers share this
+	// graph instance, so by the time their RPC handlers run, ApplyUpdates
+	// sees an already-applied seq and no-ops with the memoized deltas —
+	// the concurrent-apply race never happens. TCP workers hold their own
+	// copies and apply for real.
+	var p1, p2 [][]rrset.Patch
+	s.clusterMu.Lock()
+	err := func() error {
+		if seq == v+1 {
+			if _, _, err := g.ApplyUpdates(seq, ops); err != nil {
+				return &BadQueryError{msg: fmt.Sprintf("serve: %v", err)}
+			}
+		}
+		var err error
+		if p1, err = s.c1.Update(batch); err != nil {
+			return fmt.Errorf("serve: updating R1: %w", err)
+		}
+		if p2, err = s.c2.Update(batch); err != nil {
+			return fmt.Errorf("serve: updating R2: %w", err)
+		}
+		return nil
+	}()
+	s.clusterMu.Unlock()
+
+	var badQuery *BadQueryError
+	if errors.As(err, &badQuery) {
+		// The graph rejected the batch before mutating: nothing applied
+		// anywhere, no debt.
+		return nil, err
+	}
+	rebalanced := false
+	if err != nil {
+		var reb *cluster.RebalancedError
+		if !errors.As(err, &reb) {
+			// The graph advanced but a cluster did not finish its repair:
+			// refuse queries until a retried update (same seq) heals.
+			s.updateDebt.Store(true)
+			return nil, s.degraded(err)
+		}
+		// A worker was quarantined mid-update and the cluster rebalanced
+		// around it: its sample is whole and repaired, but the patch/span
+		// bookkeeping no longer matches the mirror. Fall through to a
+		// full re-mirror.
+		rebalanced = true
+	}
+
+	repaired := 0
+	for _, wp := range p1 {
+		repaired += len(wp)
+	}
+	for _, wp := range p2 {
+		repaired += len(wp)
+	}
+
+	remirrored := rebalanced || debt
+	if !remirrored {
+		if err := s.splicePatches(p1, p2); err != nil {
+			// Splicing is best-effort: any mismatch between the spans and
+			// the patches (should not happen) degrades to a re-mirror
+			// rather than serving a half-patched sample.
+			remirrored = true
+		}
+	}
+	if remirrored {
+		if err := s.remirror(); err != nil {
+			s.updateDebt.Store(true)
+			return nil, s.degraded(err)
+		}
+	}
+	s.updateDebt.Store(false)
+	s.stats.updates.Add(1)
+	s.stats.repairedSets.Add(int64(repaired))
+	s.rebuildSketch()
+	s.maybeCheckpointDelta(batch, repaired, remirrored)
+
+	res := &UpdateResult{
+		Applied:      true,
+		Seq:          seq,
+		GraphVersion: g.Version(),
+		Ops:          len(ops),
+		Repaired:     repaired,
+		Remirrored:   remirrored,
+	}
+	s.mu.RLock()
+	res.Theta = int64(s.r1.Count())
+	res.Epoch = s.epoch
+	s.mu.RUnlock()
+	return res, nil
+}
+
+// splicePatches maps the per-worker repair patches onto resident-mirror
+// positions through the fetch-span tables and applies them under the
+// epoch write lock, republishing the sample at a new epoch. The indexes
+// are patched in place (tombstone + overlay, see rrset.ApplyPatches on
+// Index) rather than rebuilt — the O(changed) maintenance the repair
+// path's latency budget lives on; any patch error degrades to a
+// re-mirror via the caller.
+func (s *Service) splicePatches(p1, p2 [][]rrset.Patch) error {
+	pat1, err := mapWorkerPatches(s.spans1, p1)
+	if err != nil {
+		return fmt.Errorf("serve: splicing R1 patches: %w", err)
+	}
+	pat2, err := mapWorkerPatches(s.spans2, p2)
+	if err != nil {
+		return fmt.Errorf("serve: splicing R2 patches: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Index patches diff against pre-patch membership, so they run
+	// before the collections mutate; a nil index (never queried yet)
+	// stays nil and is built on demand.
+	if s.idx1 != nil {
+		if err := s.idx1.ApplyPatches(s.r1, pat1); err != nil {
+			return err
+		}
+	}
+	if s.idx2 != nil {
+		if err := s.idx2.ApplyPatches(s.r2, pat2); err != nil {
+			return err
+		}
+	}
+	if err := s.r1.ApplyPatches(pat1); err != nil {
+		return err
+	}
+	if err := s.r2.ApplyPatches(pat2); err != nil {
+		return err
+	}
+	s.gver = s.cfg.Graph.Version()
+	s.epoch++
+	s.cache.advance(s.epoch)
+	return nil
+}
+
+// mapWorkerPatches rebases worker-local patch positions onto the
+// resident mirror through the recorded fetch spans. Every resident set
+// was fetched through exactly one span, so the translation is total;
+// a patch position outside every span means the mirror and the workers
+// have diverged (the caller falls back to a re-mirror).
+func mapWorkerPatches(spans []cluster.FetchSpan, patches [][]rrset.Patch) ([]rrset.Patch, error) {
+	byWorker := make(map[int][]cluster.FetchSpan)
+	for _, sp := range spans {
+		byWorker[sp.Worker] = append(byWorker[sp.Worker], sp)
+	}
+	var out []rrset.Patch
+	for w, wp := range patches {
+		ws := byWorker[w]
+		// Spans are recorded in fetch order, which is worker-position
+		// order for any single worker.
+		sort.Slice(ws, func(i, j int) bool { return ws[i].WorkerStart < ws[j].WorkerStart })
+		for _, p := range wp {
+			i := sort.Search(len(ws), func(i int) bool { return ws[i].WorkerStart+ws[i].Count > p.Pos })
+			if i == len(ws) || p.Pos < ws[i].WorkerStart {
+				return nil, fmt.Errorf("worker %d patch at %d outside every fetched span", w, p.Pos)
+			}
+			out = append(out, rrset.Patch{
+				Pos:     ws[i].MasterStart + (p.Pos - ws[i].WorkerStart),
+				Members: p.Members,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// remirror refetches both clusters' full samples into fresh mirrors —
+// the recovery path when per-set splicing is impossible (a cluster
+// rebalanced mid-update, or a previous update was interrupted). Runs
+// under growMu; the swap itself holds the epoch write lock only for the
+// pointer replacement and reindex.
+func (s *Service) remirror() error {
+	fresh1 := rrset.NewCollection(1 << 16)
+	fresh2 := rrset.NewCollection(1 << 16)
+	var next1, next2 []int
+	var spans1, spans2 []cluster.FetchSpan
+	s.clusterMu.Lock()
+	err := func() (err error) {
+		if next1, spans1, err = s.c1.FetchNewSpans(nil, fresh1); err != nil {
+			return fmt.Errorf("serve: re-mirroring R1: %w", err)
+		}
+		if next2, spans2, err = s.c2.FetchNewSpans(nil, fresh2); err != nil {
+			return fmt.Errorf("serve: re-mirroring R2: %w", err)
+		}
+		return nil
+	}()
+	s.clusterMu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r1, s.r2 = fresh1, fresh2
+	s.idx1, s.idx2 = nil, nil
+	if fresh1.Count() > 0 {
+		if s.idx1, err = rrset.BuildIndex(fresh1, s.n); err != nil {
+			return err
+		}
+		if s.idx2, err = rrset.BuildIndex(fresh2, s.n); err != nil {
+			return err
+		}
+	}
+	s.fetched1, s.fetched2 = next1, next2
+	// Fresh mirrors start at position 0, so the new spans' MasterStart
+	// values are already absolute.
+	s.spans1, s.spans2 = spans1, spans2
+	s.gver = s.cfg.Graph.Version()
+	s.epoch++
+	s.cache.advance(s.epoch)
+	s.stats.remirrors.Add(1)
+	return nil
+}
+
+// maybeCheckpointDelta records an applied update batch in the durable
+// store as a graph-delta segment (see internal/store), keeping the
+// on-disk history honest: the RR segments written before this update
+// predate the in-place repairs, so the deltas both document what
+// happened and mark the store unrestorable. Like maybeCheckpoint, a
+// store failure is counted but never fails the update — the in-memory
+// state is authoritative.
+func (s *Service) maybeCheckpointDelta(b mutate.Batch, repaired int, remirrored bool) {
+	if s.st == nil {
+		return
+	}
+	s.mu.RLock()
+	epoch := s.epoch
+	s.mu.RUnlock()
+	start := time.Now()
+	bytes, err := s.st.AppendDelta(epoch, b, repaired, remirrored)
+	s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.stats.ckptErrors.Add(1)
+		return
+	}
+	s.stats.ckptBytes.Add(bytes)
+}
+
+// rebuildSketch replaces the fast tier's sketch set wholesale after a
+// repair. The incremental absorb in updateSketch only ever appends the
+// sample's new suffix; a repair rewrites sets in the absorbed prefix,
+// which the bottom-k structure cannot un-absorb, so the repaired sample
+// gets a fresh build with the same parameters. No-op when the tier is
+// disabled.
+func (s *Service) rebuildSketch() {
+	if s.sk == nil {
+		return
+	}
+	s.mu.RLock()
+	snap := s.r1.Snapshot()
+	epoch := s.epoch
+	s.mu.RUnlock()
+	fresh, err := sketch.New(s.n, sketch.Params{K: s.sk.K(), Seed: s.sk.Seed()})
+	if err != nil {
+		return // unreachable: the same params built the current sketch
+	}
+	start := time.Now()
+	core.BuildSketch(fresh, snap, s.par)
+	d := time.Since(start)
+	s.sketchMu.Lock()
+	s.sk = fresh
+	s.skEpoch = epoch
+	s.sketchMu.Unlock()
+	s.stats.skBuilds.Add(1)
+	s.stats.skBuildNanos.Add(d.Nanoseconds())
+}

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dimm/internal/checksum"
+	"dimm/internal/mutate"
+)
+
+// Graph-delta segments record the dynamic half of a store's history:
+// every edge-update batch a dynamic service applied, in order, next to
+// the RR segments its growth epochs produced. They make the store an
+// auditable journal — dimmstore info/verify show exactly which graph
+// the stored sample was repaired to — but they also poison restore:
+// an update repairs RR sets *in place* in the resident mirrors, and
+// published RR segments are never rewritten, so once a delta exists the
+// stored sets predate the repairs and no longer describe any graph the
+// service served. Restore refuses with ErrDynamicHistory rather than
+// resurrecting a sample whose certificates were computed for a graph
+// that no longer exists.
+//
+// Delta segment file layout (all little-endian):
+//
+//	offset  size  field
+//	0       4     magic "DDLT" (0x544C4444)
+//	4       4     format version (1)
+//	8       8     graph version the batch advanced the graph to (= seq)
+//	16      8     sample epoch published after the repair
+//	24      4     RR sets repaired in place across both mirrors
+//	28      4     flags (bit 0: mirrors were refetched wholesale)
+//	32      8     payload length in bytes
+//	40      ...   payload: mutate.EncodeBatch wire bytes
+//	40+len  4     CRC32C over header + payload
+const (
+	deltaMagic      = 0x544C4444 // "DDLT"
+	deltaVersion    = 1
+	deltaHeaderSize = 40
+	deltaPrefix     = "delta-"
+	deltaSuffix     = ".gd"
+
+	deltaFlagRemirrored = 1 << 0
+)
+
+// ErrDynamicHistory reports a restore attempt on a store whose history
+// includes graph-delta segments: the stored RR segments predate the
+// in-place repairs those deltas drove, so no combination of them
+// reconstructs the sample the service actually held.
+var ErrDynamicHistory = errors.New(
+	"store: history includes graph-update deltas; the stored RR segments predate in-place repairs and cannot be restored (dynamic services start cold)")
+
+// DeltaRecord is one manifest row for a graph-delta segment.
+type DeltaRecord struct {
+	// Seq is the batch's sequence number, which is also the graph version
+	// it advanced the graph to.
+	Seq uint64 `json:"seq"`
+	// Epoch is the sample epoch the service published after the repair.
+	Epoch uint64 `json:"epoch"`
+	// Ops is how many edge updates the batch holds.
+	Ops int `json:"ops"`
+	// Repaired is how many resident RR sets were regenerated in place;
+	// Remirrored records the fallback where the mirrors were refetched
+	// wholesale instead.
+	Repaired   int  `json:"repaired"`
+	Remirrored bool `json:"remirrored,omitempty"`
+	// File is the segment's name within the store directory; Bytes its
+	// full size, footer included; CRC duplicates the CRC32C footer.
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// Deltas returns how many graph-delta segments the store holds.
+func (s *Store) Deltas() int { return len(s.man.Deltas) }
+
+// AppendDelta seals one applied edge-update batch as a graph-delta
+// segment and publishes it in the manifest. epoch is the sample epoch
+// the service published after the repair; repaired and remirrored
+// summarize what the repair did (see DeltaRecord). Batches must arrive
+// in sequence order, matching the graph's own versioning.
+func (s *Store) AppendDelta(epoch uint64, b mutate.Batch, repaired int, remirrored bool) (int64, error) {
+	if len(b.Ops) == 0 {
+		return 0, fmt.Errorf("store: empty delta batch")
+	}
+	if n := len(s.man.Deltas); n > 0 && b.Seq <= s.man.Deltas[n-1].Seq {
+		return 0, fmt.Errorf("store: delta seq %d not after the stored seq %d", b.Seq, s.man.Deltas[n-1].Seq)
+	}
+	name := fmt.Sprintf("%s%06d%s", deltaPrefix, s.man.NextSeg, deltaSuffix)
+	path := filepath.Join(s.dir, name)
+	rec, err := writeDelta(path, epoch, b, repaired, remirrored)
+	if err != nil {
+		return 0, err
+	}
+	rec.File = name
+	man := s.man
+	man.NextSeg++
+	man.Deltas = append(append([]DeltaRecord(nil), s.man.Deltas...), rec)
+	if err := writeManifest(s.dir, man); err != nil {
+		os.Remove(path) // unpublished segment; do not leave an orphan
+		return 0, err
+	}
+	s.man = man
+	return rec.Bytes, nil
+}
+
+// writeDelta seals one batch into a delta segment file at path, durably
+// (write temp + fsync + rename), returning its manifest record with
+// File left blank for the caller to fill in.
+func writeDelta(path string, epoch uint64, b mutate.Batch, repaired int, remirrored bool) (DeltaRecord, error) {
+	payload := mutate.EncodeBatch(nil, b)
+	buf := make([]byte, deltaHeaderSize, deltaHeaderSize+len(payload)+segFooterSize)
+	binary.LittleEndian.PutUint32(buf[0:], deltaMagic)
+	binary.LittleEndian.PutUint32(buf[4:], deltaVersion)
+	binary.LittleEndian.PutUint64(buf[8:], b.Seq)
+	binary.LittleEndian.PutUint64(buf[16:], epoch)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(repaired))
+	var flags uint32
+	if remirrored {
+		flags |= deltaFlagRemirrored
+	}
+	binary.LittleEndian.PutUint32(buf[28:], flags)
+	binary.LittleEndian.PutUint64(buf[32:], uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := checksum.Sum(buf)
+	var footer [segFooterSize]byte
+	binary.LittleEndian.PutUint32(footer[:], crc)
+	buf = append(buf, footer[:]...)
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return DeltaRecord{}, fmt.Errorf("store: staging delta segment: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return DeltaRecord{}, fmt.Errorf("store: writing delta segment %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return DeltaRecord{}, fmt.Errorf("store: closing delta segment %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return DeltaRecord{}, fmt.Errorf("store: publishing delta segment %s: %w", path, err)
+	}
+	return DeltaRecord{
+		Seq:        b.Seq,
+		Epoch:      epoch,
+		Ops:        len(b.Ops),
+		Repaired:   repaired,
+		Remirrored: remirrored,
+		Bytes:      int64(len(buf)),
+		CRC:        crc,
+	}, nil
+}
+
+// readDelta loads and fully verifies the delta segment rec points at,
+// returning the decoded batch. The check order mirrors readSegment:
+// size, CRC32C, magic/version, header-vs-manifest consistency, then the
+// wire decode itself.
+func readDelta(path string, rec DeltaRecord) (mutate.Batch, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return mutate.Batch{}, &ManifestStaleError{Dir: filepath.Dir(path), Reason: fmt.Sprintf("delta segment %s listed in the manifest is missing", rec.File)}
+	}
+	if err != nil {
+		return mutate.Batch{}, fmt.Errorf("store: reading delta segment %s: %w", path, err)
+	}
+	if int64(len(data)) != rec.Bytes {
+		return mutate.Batch{}, &SegmentTruncatedError{Path: path, WantBytes: rec.Bytes, GotBytes: int64(len(data))}
+	}
+	if len(data) < deltaHeaderSize+segFooterSize {
+		return mutate.Batch{}, &SegmentTruncatedError{Path: path, WantBytes: deltaHeaderSize + segFooterSize, GotBytes: int64(len(data))}
+	}
+	body := data[:len(data)-segFooterSize]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-segFooterSize:])
+	if got := checksum.Sum(body); got != wantCRC {
+		return mutate.Batch{}, &SegmentChecksumError{Path: path, Want: wantCRC, Got: got}
+	}
+	if magic := binary.LittleEndian.Uint32(body[0:]); magic != deltaMagic {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: fmt.Sprintf("bad magic %#x", magic)}
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != deltaVersion {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: fmt.Sprintf("delta version %d, this build reads %d", v, deltaVersion)}
+	}
+	seq := binary.LittleEndian.Uint64(body[8:])
+	epoch := binary.LittleEndian.Uint64(body[16:])
+	repaired := int(binary.LittleEndian.Uint32(body[24:]))
+	flags := binary.LittleEndian.Uint32(body[28:])
+	payloadLen := binary.LittleEndian.Uint64(body[32:])
+	remirrored := flags&deltaFlagRemirrored != 0
+	if seq != rec.Seq || epoch != rec.Epoch || repaired != rec.Repaired || remirrored != rec.Remirrored {
+		return mutate.Batch{}, &ManifestStaleError{Dir: filepath.Dir(path), Reason: fmt.Sprintf(
+			"delta segment %s holds seq %d epoch %d (%d repaired), manifest recorded seq %d epoch %d (%d repaired)",
+			rec.File, seq, epoch, repaired, rec.Seq, rec.Epoch, rec.Repaired)}
+	}
+	if int(payloadLen) != len(body)-deltaHeaderSize {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: fmt.Sprintf(
+			"declared payload %d bytes, file holds %d", payloadLen, len(body)-deltaHeaderSize)}
+	}
+	b, used, err := mutate.DecodeBatch(body[deltaHeaderSize:])
+	if err != nil {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: err.Error()}
+	}
+	if used != len(body)-deltaHeaderSize {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: fmt.Sprintf(
+			"payload decodes to %d bytes with %d trailing", used, len(body)-deltaHeaderSize-used)}
+	}
+	if b.Seq != seq || len(b.Ops) != rec.Ops {
+		return mutate.Batch{}, &CorruptSegmentError{Path: path, Reason: fmt.Sprintf(
+			"payload batch has seq %d with %d ops, header/manifest declared seq %d with %d",
+			b.Seq, len(b.Ops), seq, rec.Ops)}
+	}
+	return b, nil
+}
+
+// ReplayDeltas reads and verifies every graph-delta segment in order,
+// returning the decoded batches — the tooling view of the store's
+// dynamic history (dimmstore info prints it; a future offline compactor
+// could apply it to a stored graph).
+func (s *Store) ReplayDeltas() ([]mutate.Batch, error) {
+	batches := make([]mutate.Batch, 0, len(s.man.Deltas))
+	for _, rec := range s.man.Deltas {
+		b, err := readDelta(s.segPath(rec.File), rec)
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, b)
+	}
+	return batches, nil
+}

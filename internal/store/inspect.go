@@ -22,6 +22,12 @@ type Info struct {
 	// Sketch is the fast tier's published sketch segment, nil when the
 	// store holds none.
 	Sketch *SketchRecord
+	// Deltas are the graph-update batches a dynamic service applied,
+	// in sequence order; non-empty marks the store unrestorable (the RR
+	// segments predate the in-place repairs the deltas drove).
+	Deltas []DeltaRecord
+	// RepairedSets sums Deltas' repaired counts.
+	RepairedSets int
 	// Orphans are segment-looking files in the directory the manifest
 	// does not reference — debris from a crash between segment publish
 	// and manifest publish. Harmless, removable with Prune.
@@ -37,8 +43,8 @@ func Inspect(dir string) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &Info{Dir: dir, Fingerprint: man.Fingerprint, Epochs: man.Epochs, Sketch: man.Sketch}
-	referenced := make(map[string]bool, len(man.Epochs)+1)
+	info := &Info{Dir: dir, Fingerprint: man.Fingerprint, Epochs: man.Epochs, Sketch: man.Sketch, Deltas: man.Deltas}
+	referenced := make(map[string]bool, len(man.Epochs)+len(man.Deltas)+1)
 	for _, e := range man.Epochs {
 		info.R1Sets += e.R1Sets
 		info.R2Sets += e.R2Sets
@@ -49,6 +55,11 @@ func Inspect(dir string) (*Info, error) {
 		info.Bytes += man.Sketch.Bytes
 		referenced[man.Sketch.File] = true
 	}
+	for _, d := range man.Deltas {
+		info.RepairedSets += d.Repaired
+		info.Bytes += d.Bytes
+		referenced[d.File] = true
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
@@ -58,7 +69,8 @@ func Inspect(dir string) (*Info, error) {
 		if ent.IsDir() || referenced[name] {
 			continue
 		}
-		if strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, sketchPrefix) || strings.Contains(name, ".tmp-") {
+		if strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, sketchPrefix) ||
+			strings.HasPrefix(name, deltaPrefix) || strings.Contains(name, ".tmp-") {
 			info.Orphans = append(info.Orphans, name)
 		}
 	}
@@ -80,6 +92,11 @@ func Verify(dir string) (*Info, error) {
 	}
 	if info.Sketch != nil {
 		if err := verifySketch(dir, info.Sketch); err != nil {
+			return info, err
+		}
+	}
+	for _, rec := range info.Deltas {
+		if _, err := readDelta(filepath.Join(dir, rec.File), rec); err != nil {
 			return info, err
 		}
 	}

@@ -31,6 +31,9 @@ func (s *Store) Restore(n int) (*Restored, error) {
 	if len(s.man.Epochs) == 0 {
 		return nil, ErrNoCheckpoint
 	}
+	if len(s.man.Deltas) > 0 {
+		return nil, ErrDynamicHistory
+	}
 	r1 := rrset.NewCollection(0)
 	r2 := rrset.NewCollection(0)
 	var bytes int64

@@ -199,6 +199,11 @@ type manifest struct {
 	// sketch segment (see sketch.go). Absent in pre-sketch manifests,
 	// which keep restoring unchanged.
 	Sketch *SketchRecord `json:"sketch,omitempty"`
+	// Deltas lists the graph-update batches a dynamic service applied
+	// (see delta.go). Their presence marks the RR segments as predating
+	// in-place repairs: Restore refuses with ErrDynamicHistory. Absent
+	// in static stores, which keep restoring unchanged.
+	Deltas []DeltaRecord `json:"deltas,omitempty"`
 }
 
 // Store is an open checkpoint directory. It is single-writer by design:
@@ -334,6 +339,15 @@ func readManifest(dir string) (*manifest, error) {
 	}
 	if sk := man.Sketch; sk != nil && (sk.File == "" || sk.Bytes <= 0 || sk.K < 2 || sk.Theta < 0) {
 		return nil, &ManifestStaleError{Dir: dir, Reason: "sketch record is malformed"}
+	}
+	for i, d := range man.Deltas {
+		if d.File == "" || d.Bytes <= 0 || d.Ops <= 0 || d.Repaired < 0 {
+			return nil, &ManifestStaleError{Dir: dir, Reason: fmt.Sprintf("delta record %d is malformed", i)}
+		}
+		if i > 0 && d.Seq <= man.Deltas[i-1].Seq {
+			return nil, &ManifestStaleError{Dir: dir, Reason: fmt.Sprintf(
+				"delta seqs not strictly increasing at record %d (%d after %d)", i, d.Seq, man.Deltas[i-1].Seq)}
+		}
 	}
 	return &man, nil
 }
