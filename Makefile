@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault bench-sketch bench-update
+.PHONY: build test race bench rrgen pprof-rrgen bench-select serve bench-serve bench-store bench-fault bench-sketch bench-update bench-ooc
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,11 @@ test:
 
 # The concurrency-sensitive packages: sharded RR generation, the parallel
 # select kernel, the cluster transports, the query service, the sketch
-# tier (node-sharded absorbs), the mutation/repair planner, and the
-# durable store run under the race detector.
+# tier (node-sharded absorbs), the mutation/repair planner, the durable
+# store, and the graph substrate (mmap-backed CSRs are shared read-only
+# across sampling shards) run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/mutate/... ./internal/rrset/... ./internal/serve/... ./internal/sketch/... ./internal/store/...
+	$(GO) test -race ./internal/cluster/... ./internal/coverage/... ./internal/graph/... ./internal/mutate/... ./internal/rrset/... ./internal/serve/... ./internal/sketch/... ./internal/store/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -66,3 +67,12 @@ bench-update:
 # fast/certified top-k seed agreement on this box).
 bench-sketch:
 	$(GO) run ./cmd/experiments -run sketch
+
+# Regenerates BENCH_OOC.json (out-of-core RR generation: mmap vs mem
+# backend throughput, peak RSS relative to CSR size, and cross-backend
+# collection digests). Builds the 100M+ edge graph first if absent —
+# needs ~6 GB of disk and runs for a while.
+OOC_GRAPH ?= bench-ooc.dsg
+bench-ooc:
+	@test -f $(OOC_GRAPH) || $(GO) run ./cmd/gengraph -kind rmat -nodes 16777216 -degree 8 -out $(OOC_GRAPH)
+	$(GO) run ./cmd/experiments -run ooc -ooc-graph $(OOC_GRAPH)

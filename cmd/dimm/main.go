@@ -30,7 +30,8 @@ func main() {
 	log.SetPrefix("dimm: ")
 
 	var (
-		graphPath   = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		graphPath   = flag.String("graph", "", "edge-list (.txt), binary (.bin) or segmented (.dsg) graph file")
+		backendName = flag.String("graph-backend", "mem", "graph materialization: mem (heap) | mmap (demand-paged, .dsg files only; serves graphs larger than RAM)")
 		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
 		weights     = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file (file = keep probabilities from the input)")
 		uniformP    = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
@@ -61,10 +62,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := loadOrGenerate(*graphPath, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
+	g, err := loadOrGenerate(*graphPath, *backendName, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer g.Close()
 	fmt.Printf("graph: %d nodes, %d edges, avg degree %.1f\n", g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
 	par := *parallelism
@@ -159,30 +161,31 @@ func main() {
 	}
 }
 
-func loadOrGenerate(path string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
-	var g *graph.Graph
-	var err error
-	switch {
-	case synthNodes > 0:
-		g, err = graph.GenPreferential(graph.GenConfig{
+func loadOrGenerate(path, backendName string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
+	backend, err := graph.ParseBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	if synthNodes > 0 {
+		g, err := graph.GenPreferential(graph.GenConfig{
 			Nodes: synthNodes, AvgDegree: synthDeg, Seed: seed, UniformAttach: 0.15,
 		})
-	case path == "":
+		if err != nil {
+			return nil, err
+		}
+		if weights == "file" {
+			return g, nil
+		}
+		wm, err := graph.ParseWeightModel(weights)
+		if err != nil {
+			return nil, err
+		}
+		return graph.AssignWeights(g, wm, uniformP, seed)
+	}
+	if path == "" {
 		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
-	case strings.HasSuffix(path, ".bin"):
-		g, err = graph.ReadBinaryFile(path)
-	default:
-		g, err = graph.LoadEdgeListFile(path, undirected)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if weights == "file" {
-		return g, nil
-	}
-	wm, err := graph.ParseWeightModel(weights)
-	if err != nil {
-		return nil, err
-	}
-	return graph.AssignWeights(g, wm, uniformP, seed)
+	return graph.LoadAny(path, graph.LoadOptions{
+		Undirected: undirected, Weights: weights, UniformP: uniformP, Seed: seed, Backend: backend,
+	})
 }

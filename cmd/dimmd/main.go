@@ -35,7 +35,6 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strings"
 	"syscall"
 	"time"
 
@@ -49,7 +48,8 @@ func main() {
 	log.SetPrefix("dimmd: ")
 
 	var (
-		graphPath   = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
+		graphPath   = flag.String("graph", "", "edge-list (.txt), binary (.bin) or segmented (.dsg) graph file")
+		backendName = flag.String("graph-backend", "mem", "graph materialization: mem (heap) | mmap (demand-paged, .dsg files only; incompatible with -dynamic)")
 		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
 		weights     = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
 		uniformP    = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
@@ -72,29 +72,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var g *graph.Graph
-	if strings.HasSuffix(*graphPath, ".bin") {
-		g, err = graph.ReadBinaryFile(*graphPath)
-	} else {
-		g, err = graph.LoadEdgeListFile(*graphPath, *undirected)
-	}
+	backend, err := graph.ParseBackend(*backendName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *weights != "file" {
-		wm, err := graph.ParseWeightModel(*weights)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if g, err = graph.AssignWeights(g, wm, float32(*uniformP), *seed); err != nil {
-			log.Fatal(err)
-		}
+	g, err := graph.LoadAny(*graphPath, graph.LoadOptions{
+		Undirected: *undirected, Weights: *weights, UniformP: float32(*uniformP), Seed: *seed, Backend: backend,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *dynamic {
 		// Must happen before any worker (and its samplers) is built: the
-		// samplers pick mutation-safe kernels on mutable graphs.
-		g.EnableMutation()
+		// samplers pick mutation-safe kernels on mutable graphs. An
+		// mmap-backed graph is rejected here (updates write through CSR
+		// slots in place, which a shared read-only mapping cannot allow).
+		if err := g.EnableMutation(); err != nil {
+			log.Fatalf("-dynamic: %v", err)
+		}
 	}
 
 	lis, err := net.Listen("tcp", *listen)

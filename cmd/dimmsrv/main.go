@@ -66,8 +66,9 @@ func main() {
 	log.SetPrefix("dimmsrv: ")
 
 	var (
-		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
-		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
+		graphPath   = flag.String("graph", "", "edge-list (.txt), binary (.bin) or segmented (.dsg) graph file")
+		backendName = flag.String("graph-backend", "mem", "graph materialization: mem (heap) | mmap (demand-paged, .dsg files only; incompatible with -dynamic)")
+		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
 		weights    = flag.String("weights", "wc", "edge weight model: wc|uniform|trivalency|file")
 		uniformP   = flag.Float64("uniform-p", 0.1, "probability for -weights uniform")
 		synthNodes = flag.Int("synth-nodes", 0, "generate a synthetic network with this many nodes instead of loading one")
@@ -109,7 +110,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := loadOrGenerate(*graphPath, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
+	g, err := loadOrGenerate(*graphPath, *backendName, *undirected, *weights, float32(*uniformP), *synthNodes, *synthDeg, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -268,30 +269,31 @@ func dialWorkerHalves(list string, n int, callTimeout time.Duration, seed uint64
 	return c1, c2, nil
 }
 
-func loadOrGenerate(path string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
-	var g *graph.Graph
-	var err error
-	switch {
-	case synthNodes > 0:
-		g, err = graph.GenPreferential(graph.GenConfig{
+func loadOrGenerate(path, backendName string, undirected bool, weights string, uniformP float32, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
+	backend, err := graph.ParseBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	if synthNodes > 0 {
+		g, err := graph.GenPreferential(graph.GenConfig{
 			Nodes: synthNodes, AvgDegree: synthDeg, Seed: seed, UniformAttach: 0.15,
 		})
-	case path == "":
+		if err != nil {
+			return nil, err
+		}
+		if weights == "file" {
+			return g, nil
+		}
+		wm, err := graph.ParseWeightModel(weights)
+		if err != nil {
+			return nil, err
+		}
+		return graph.AssignWeights(g, wm, uniformP, seed)
+	}
+	if path == "" {
 		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
-	case strings.HasSuffix(path, ".bin"):
-		g, err = graph.ReadBinaryFile(path)
-	default:
-		g, err = graph.LoadEdgeListFile(path, undirected)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if weights == "file" {
-		return g, nil
-	}
-	wm, err := graph.ParseWeightModel(weights)
-	if err != nil {
-		return nil, err
-	}
-	return graph.AssignWeights(g, wm, uniformP, seed)
+	return graph.LoadAny(path, graph.LoadOptions{
+		Undirected: undirected, Weights: weights, UniformP: uniformP, Seed: seed, Backend: backend,
+	})
 }

@@ -36,7 +36,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,sketch,update,all (rrgen, select, serve, store, fault, sketch and update only run when named)")
+		run      = flag.String("run", "all", "comma list of: tableIII,tableIV,fig5,fig6,fig7,fig8,fig9,fig10,rrgen,select,serve,store,fault,sketch,update,ooc,all (rrgen, select, serve, store, fault, sketch, update and ooc only run when named)")
 		scale    = flag.Float64("scale", 0.25, "dataset scale (0.25 quick, 1.0 standard, 4.0 large)")
 		k        = flag.Int("k", 50, "seed set size")
 		eps      = flag.Float64("eps", 0.3, "epsilon (paper uses 0.01; quadratic in runtime)")
@@ -71,6 +71,13 @@ func main() {
 		updateNodes   = flag.Int("update-nodes", 0, "graph size for -run update (0 = bench default)")
 		updateBatches = flag.Int("update-storm-batches", 0, "storm update batches for -run update (0 = bench default)")
 		updateOps     = flag.Int("update-storm-ops", 0, "edge ops per storm batch for -run update (0 = bench default)")
+
+		oocOut    = flag.String("ooc-out", "BENCH_OOC.json", "JSON output path for -run ooc (empty = print only)")
+		oocGraph  = flag.String("ooc-graph", "", "segmented (.dsg) graph file for -run ooc (required; build one with gengraph)")
+		oocCount  = flag.Int64("ooc-count", 0, "RR sets per batch level for -run ooc (0 = bench default)")
+		oocBs     = flag.String("ooc-bs", "1,64,256", "frontier-batch width sweep for -run ooc")
+		oocBudget = flag.Int64("ooc-budget-mb", 0, "mmap residency budget in MiB for -run ooc (0 = CSR/16, negative = no shedding)")
+		oocCold   = flag.Int64("ooc-cold", 0, "cold-start (page-cache-evicted) RR sets for -run ooc (0 = bench default, negative = skip)")
 
 		sketchOut      = flag.String("sketch-out", "BENCH_SKETCH.json", "JSON output path for -run sketch (empty = print only)")
 		sketchNodes    = flag.Int("sketch-nodes", 0, "graph size for -run sketch (0 = bench default)")
@@ -223,6 +230,18 @@ func main() {
 		}
 		if _, err := cfg.Update(*updateOut, opt); err != nil {
 			log.Fatalf("update: %v", err)
+		}
+	}
+	if want["ooc"] {
+		opt := bench.OOCOptions{
+			GraphPath: *oocGraph,
+			Count:     *oocCount,
+			Bs:        parseInts(*oocBs),
+			RSSBudget: *oocBudget << 20,
+			ColdSets:  *oocCold,
+		}
+		if _, err := cfg.OOC(opt, *oocOut); err != nil {
+			log.Fatalf("ooc: %v", err)
 		}
 	}
 	if want["sketch"] {

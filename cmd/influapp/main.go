@@ -31,8 +31,9 @@ func main() {
 	log.SetPrefix("influapp: ")
 
 	var (
-		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
-		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
+		graphPath   = flag.String("graph", "", "edge-list (.txt), binary (.bin) or segmented (.dsg) graph file")
+		backendName = flag.String("graph-backend", "mem", "graph materialization: mem (heap) | mmap (demand-paged, .dsg files only)")
+		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
 		synthNodes = flag.Int("synth-nodes", 0, "generate a synthetic network instead of loading one")
 		synthDeg   = flag.Float64("synth-degree", 10, "average degree for the synthetic network")
 		mode       = flag.String("mode", "targeted", "application: targeted|budgeted|seedmin")
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := loadGraph(*graphPath, *undirected, *synthNodes, *synthDeg, *seed)
+	g, err := loadGraph(*graphPath, *backendName, *undirected, *synthNodes, *synthDeg, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,25 +132,28 @@ func main() {
 	}
 }
 
-func loadGraph(path string, undirected bool, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
-	switch {
-	case synthNodes > 0:
+func loadGraph(path, backendName string, undirected bool, synthNodes int, synthDeg float64, seed uint64) (*graph.Graph, error) {
+	backend, err := graph.ParseBackend(backendName)
+	if err != nil {
+		return nil, err
+	}
+	if synthNodes > 0 {
 		g, err := graph.GenPreferential(graph.GenConfig{Nodes: synthNodes, AvgDegree: synthDeg, Seed: seed, UniformAttach: 0.15})
 		if err != nil {
 			return nil, err
 		}
 		return graph.AssignWeights(g, graph.WeightedCascade, 0, 0)
-	case path == "":
-		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
-	case strings.HasSuffix(path, ".bin"):
-		return graph.ReadBinaryFile(path)
-	default:
-		g, err := graph.LoadEdgeListFile(path, undirected)
-		if err != nil {
-			return nil, err
-		}
-		return graph.AssignWeights(g, graph.WeightedCascade, 0, 0)
 	}
+	if path == "" {
+		return nil, fmt.Errorf("provide -graph or -synth-nodes (try -h)")
+	}
+	// Text edge lists carry no probabilities: apply the paper's WC
+	// setting. The binary and segmented formats store their weights.
+	weights := "wc"
+	if strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".dsg") {
+		weights = "file"
+	}
+	return graph.LoadAny(path, graph.LoadOptions{Undirected: undirected, Weights: weights, Backend: backend})
 }
 
 func readIDs(path string, n int) ([]uint32, error) {

@@ -10,7 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	"dimm/internal/core"
@@ -24,8 +23,9 @@ func main() {
 	log.SetPrefix("maxcover: ")
 
 	var (
-		graphPath  = flag.String("graph", "", "edge-list (.txt) or binary (.bin) graph file")
-		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
+		graphPath   = flag.String("graph", "", "edge-list (.txt), binary (.bin) or segmented (.dsg) graph file")
+		backendName = flag.String("graph-backend", "mem", "graph materialization: mem (heap) | mmap (demand-paged, .dsg files only)")
+		undirected  = flag.Bool("undirected", false, "treat the edge list as undirected")
 		synthNodes = flag.Int("synth-nodes", 0, "generate a synthetic graph instead of loading one")
 		synthDeg   = flag.Float64("synth-degree", 10, "average degree for the synthetic graph")
 		k          = flag.Int("k", 50, "number of sets (users) to pick")
@@ -42,10 +42,13 @@ func main() {
 		g, err = graph.GenPreferential(graph.GenConfig{Nodes: *synthNodes, AvgDegree: *synthDeg, Seed: *seed, UniformAttach: 0.15})
 	case *graphPath == "":
 		log.Fatal("provide -graph or -synth-nodes (try -h)")
-	case strings.HasSuffix(*graphPath, ".bin"):
-		g, err = graph.ReadBinaryFile(*graphPath)
 	default:
-		g, err = graph.LoadEdgeListFile(*graphPath, *undirected)
+		backend, berr := graph.ParseBackend(*backendName)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		// Coverage uses topology only; keep whatever weights are stored.
+		g, err = graph.LoadAny(*graphPath, graph.LoadOptions{Undirected: *undirected, Weights: "file", Backend: backend})
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -85,6 +85,41 @@ func SaveGraphBinary(path string, g *Graph) error {
 	return graph.WriteBinaryFile(path, g)
 }
 
+// GraphBackend selects how LoadGraphFile materializes a segmented graph:
+// heap slices or a demand-paged read-only mapping.
+type GraphBackend = graph.Backend
+
+// Graph materialization backends.
+const (
+	// MemBackend loads the graph into heap memory (every format).
+	MemBackend = graph.BackendMem
+	// MmapBackend maps a segmented (.dsg) file and serves the CSR
+	// straight from the page cache, so graphs larger than RAM sample at
+	// full speed without ever being heap-resident. Mapped graphs are
+	// frozen (no mutation) and must be released with Graph.Close.
+	MmapBackend = graph.BackendMmap
+)
+
+// LoadGraphFile loads a graph from any supported format, routed by
+// extension: ".dsg" segmented (the out-of-core format; the only one
+// MmapBackend accepts), ".bin" legacy binary, anything else a SNAP-style
+// text edge list. weights is "wc", "uniform", "trivalency", or "file" to
+// keep the stored probabilities.
+func LoadGraphFile(path string, backend GraphBackend, weights string, undirected bool) (*Graph, error) {
+	return graph.LoadAny(path, graph.LoadOptions{
+		Undirected: undirected, Weights: weights, Backend: backend,
+	})
+}
+
+// SaveGraphSegmented writes the graph in the segmented out-of-core
+// format (.dsg): page-aligned CSR sections with per-block CRC32C
+// trailers, openable with either backend. weightTag names the weight
+// model the graph carries (e.g. "wc"); LoadGraphFile uses it to decide
+// whether stored probabilities satisfy a weights request.
+func SaveGraphSegmented(path string, g *Graph, weightTag string) error {
+	return graph.WriteSegmentedFile(path, g, weightTag)
+}
+
 // ApplyWeightedCascade reassigns every edge probability to 1/indeg(head),
 // the weighted-cascade setting used throughout the paper's evaluation.
 func ApplyWeightedCascade(g *Graph) (*Graph, error) {

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dimm/internal/graph"
+)
+
+// TestRunOOCSmoke runs the out-of-core benchmark end to end on a tiny
+// segmented graph and checks the invariant the benchmark exists to
+// measure: identical collection digests across backends and batch
+// widths, with per-backend residency accounting filled in.
+func TestRunOOCSmoke(t *testing.T) {
+	g, err := graph.GenRMAT(graph.RMATConfig{GenConfig: graph.GenConfig{
+		Nodes: 1_000, AvgDegree: 6, Seed: 5,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.dsg")
+	if err := graph.WriteSegmentedFile(path, g, "wc"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunOOC(OOCOptions{
+		GraphPath: path, Seed: 11, Count: 2_000, Bs: []int{1, 64},
+		ColdSets: 100,
+		// The tiny CSR fits in a page or two; an RSS budget would fire
+		// constantly and only add noise. Disable the watcher.
+		RSSBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Backends) != 2 {
+		t.Fatalf("%d backends, want 2 (mmap, mem)", len(rep.Backends))
+	}
+	if rep.Backends[0].Backend != "mmap" || rep.Backends[1].Backend != "mem" {
+		t.Fatalf("backend order %s, %s; want mmap first (honest residency)",
+			rep.Backends[0].Backend, rep.Backends[1].Backend)
+	}
+	if !rep.DigestsMatch {
+		t.Fatal("collection digests diverged across backends")
+	}
+	if cs := rep.Backends[0].ColdStart; cs == nil {
+		t.Fatal("mmap backend missing cold-start phase")
+	} else if cs.Sets != 100 || cs.PeakRSS <= 0 || cs.Digest == "" {
+		t.Fatalf("bad cold-start level: %+v", cs)
+	}
+	if rep.Backends[1].ColdStart != nil {
+		t.Fatal("mem backend should not run a cold-start phase")
+	}
+	var want string
+	for _, b := range rep.Backends {
+		if len(b.Levels) != 2 {
+			t.Fatalf("%s: %d levels, want 2", b.Backend, len(b.Levels))
+		}
+		if b.OpenSeconds <= 0 || b.OpenRSS <= 0 || b.PeakRSS <= 0 {
+			t.Fatalf("%s: missing accounting: %+v", b.Backend, b)
+		}
+		for _, lv := range b.Levels {
+			if lv.Sets != 2_000 || lv.Seconds <= 0 || lv.SetsPerSec <= 0 {
+				t.Fatalf("%s B=%d: bad level: %+v", b.Backend, lv.Batch, lv)
+			}
+			if lv.Digest == "" {
+				t.Fatalf("%s B=%d: empty digest", b.Backend, lv.Batch)
+			}
+			if want == "" {
+				want = lv.Digest
+			} else if lv.Digest != want {
+				t.Fatalf("%s B=%d: digest %s, want %s", b.Backend, lv.Batch, lv.Digest, want)
+			}
+		}
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "ooc.json")
+	if err := rep.WriteJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back OOCReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CSRBytes != rep.CSRBytes || len(back.Backends) != len(rep.Backends) {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}

@@ -207,7 +207,9 @@ func RunUpdateBench(opt UpdateOptions) (*UpdateReport, error) {
 		if g, err = graph.AssignWeights(g, graph.WeightedCascade, 0, 0); err != nil {
 			return nil, err
 		}
-		g.EnableMutation()
+		if err := g.EnableMutation(); err != nil {
+			return nil, err
+		}
 		return g, nil
 	}
 	mkCfg := func(g *graph.Graph) serve.Config {

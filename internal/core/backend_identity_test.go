@@ -1,0 +1,66 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dimm/internal/diffusion"
+	"dimm/internal/graph"
+)
+
+// TestDIIMMBackendIdentity pins the out-of-core contract at the level
+// users observe it: a DIIMM run over an mmap-backed segmented graph
+// selects exactly the seeds of the same run over the heap-backed graph,
+// across parallelism and batch-width settings. The graph substrate swap
+// must be invisible to the algorithm — same θ, same coverage, same
+// seeds, same certified spread.
+func TestDIIMMBackendIdentity(t *testing.T) {
+	g := testGraph(t, 400)
+	path := filepath.Join(t.TempDir(), "g.dsg")
+	if err := graph.WriteSegmentedFile(path, g, "wc"); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := graph.OpenSegmented(path, graph.BackendMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	mmap, err := graph.OpenSegmented(path, graph.BackendMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mmap.Close()
+
+	for _, p := range []int{1, 4} {
+		for _, b := range []int{1, 64} {
+			opt := Options{
+				K: 5, Eps: 0.4, Delta: 0.05, Machines: 2,
+				Model: diffusion.IC, Seed: 99, Parallelism: p, Batch: b,
+			}
+			want, err := RunDIIMM(g, opt)
+			if err != nil {
+				t.Fatalf("P=%d B=%d heap run: %v", p, b, err)
+			}
+			for _, bg := range []struct {
+				name string
+				g    *graph.Graph
+			}{{"mem", mem}, {"mmap", mmap}} {
+				got, err := RunDIIMM(bg.g, opt)
+				if err != nil {
+					t.Fatalf("P=%d B=%d %s run: %v", p, b, bg.name, err)
+				}
+				if got.Theta != want.Theta || got.Coverage != want.Coverage {
+					t.Fatalf("P=%d B=%d %s: θ=%d cov=%d, want θ=%d cov=%d",
+						p, b, bg.name, got.Theta, got.Coverage, want.Theta, want.Coverage)
+				}
+				if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+					t.Fatalf("P=%d B=%d %s seeds %v, want %v", p, b, bg.name, got.Seeds, want.Seeds)
+				}
+				if got.EstSpread != want.EstSpread {
+					t.Fatalf("P=%d B=%d %s spread %v, want %v", p, b, bg.name, got.EstSpread, want.EstSpread)
+				}
+			}
+		}
+	}
+}

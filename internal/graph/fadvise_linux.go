@@ -1,0 +1,21 @@
+//go:build linux
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// fadviseDontneed asks the kernel to drop the file's page-cache pages
+// (POSIX_FADV_DONTNEED). Pages still mapped by someone keep their cache
+// entry, so callers drop PTEs first (madviseDontneed) when they want a
+// genuinely cold file.
+func fadviseDontneed(f *os.File, size int64) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64,
+		f.Fd(), 0, uintptr(size), 4 /* POSIX_FADV_DONTNEED */, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

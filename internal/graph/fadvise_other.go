@@ -1,0 +1,9 @@
+//go:build !linux
+
+package graph
+
+import "os"
+
+// fadviseDontneed is a no-op where posix_fadvise is unavailable; cache
+// eviction is best-effort.
+func fadviseDontneed(f *os.File, size int64) error { return nil }

@@ -139,17 +139,39 @@ type RMATConfig struct {
 // edges are kept, as their concentration on the dense quadrant is part
 // of the skew.
 func GenRMAT(cfg RMATConfig) (*Graph, error) {
+	var b *Builder
+	err := GenRMATStream(cfg, func(n int, edgeHint int64) error {
+		b = NewBuilderHint(n, int(edgeHint))
+		return nil
+	}, func(u, v uint32) error {
+		return b.AddEdge(u, v, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// GenRMATStream is GenRMAT's edge stream: it validates cfg, calls start
+// once with the node count and an edge-count hint, then emits every
+// generated edge (both directions when Undirected) without building or
+// retaining anything. The RNG consumption per edge is identical to
+// GenRMAT's, so streaming a given (cfg, seed) disk-direct produces
+// exactly the edge sequence the in-memory generator would — the property
+// the segmented-vs-heap equality tests pin. Disk-direct generation of
+// 100M+ edge graphs feeds this straight into BuildSegmented.
+func GenRMATStream(cfg RMATConfig, start func(n int, edgeHint int64) error, emit func(u, v uint32) error) error {
 	if cfg.Nodes < 2 {
-		return nil, fmt.Errorf("graph: R-MAT generator needs >= 2 nodes, got %d", cfg.Nodes)
+		return fmt.Errorf("graph: R-MAT generator needs >= 2 nodes, got %d", cfg.Nodes)
 	}
 	if cfg.AvgDegree <= 0 {
-		return nil, fmt.Errorf("graph: average degree must be positive, got %v", cfg.AvgDegree)
+		return fmt.Errorf("graph: average degree must be positive, got %v", cfg.AvgDegree)
 	}
 	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
 		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19
 	}
 	if cfg.A < 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
-		return nil, fmt.Errorf("graph: R-MAT quadrant probabilities (%v, %v, %v) must be non-negative and sum below 1",
+		return fmt.Errorf("graph: R-MAT quadrant probabilities (%v, %v, %v) must be non-negative and sum below 1",
 			cfg.A, cfg.B, cfg.C)
 	}
 	r := xrand.New(cfg.Seed)
@@ -157,12 +179,18 @@ func GenRMAT(cfg RMATConfig) (*Graph, error) {
 	if cfg.Undirected {
 		perNode /= 2
 	}
-	target := int(float64(cfg.Nodes) * perNode)
+	target := int64(float64(cfg.Nodes) * perNode)
+	hint := target
+	if cfg.Undirected {
+		hint *= 2
+	}
+	if err := start(cfg.Nodes, hint); err != nil {
+		return err
+	}
 	scale := bits.Len(uint(cfg.Nodes - 1))
-	b := NewBuilderHint(cfg.Nodes, target*2)
 	ab := cfg.A + cfg.B
 	abc := ab + cfg.C
-	for added := 0; added < target; {
+	for added := int64(0); added < target; {
 		var u, v uint32
 		for lvl := 0; lvl < scale; lvl++ {
 			u <<= 1
@@ -181,17 +209,17 @@ func GenRMAT(cfg RMATConfig) (*Graph, error) {
 		if uint(u) >= uint(cfg.Nodes) || uint(v) >= uint(cfg.Nodes) || u == v {
 			continue
 		}
-		if err := b.AddEdge(u, v, 1); err != nil {
-			return nil, err
+		if err := emit(u, v); err != nil {
+			return err
 		}
 		if cfg.Undirected {
-			if err := b.AddEdge(v, u, 1); err != nil {
-				return nil, err
+			if err := emit(v, u); err != nil {
+				return err
 			}
 		}
 		added++
 	}
-	return b.Build(), nil
+	return nil
 }
 
 // GenErdosRenyi builds a G(n, m)-style uniform random directed graph with

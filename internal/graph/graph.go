@@ -62,6 +62,11 @@ type Graph struct {
 	// chained hash); nil for frozen graphs, so the frozen hot paths pay
 	// one pointer test. See mutate.go.
 	mut *mutState
+
+	// seg records segmented-file provenance (source path, mmap mapping,
+	// trailer CRCs); nil for graphs built in memory or loaded from
+	// non-segmented formats. See segreader.go.
+	seg *segState
 }
 
 // NumNodes returns n, the number of nodes.

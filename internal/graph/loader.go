@@ -10,31 +10,26 @@ import (
 	"strings"
 )
 
-// LoadEdgeList reads a SNAP-style plain-text edge list: one "u v" or
-// "u v p" line per edge, '#' or '%' comment lines ignored. Node ids are
-// arbitrary non-negative integers and are remapped to a dense 0..n-1 range
-// in first-appearance order. If undirected is true every line contributes
-// both directions. Lines without a probability get probability 1; callers
-// typically follow with AssignWeights to apply the paper's WC setting.
-//
-// Real SNAP datasets (the paper's Facebook/Google+/LiveJournal files) load
-// through this function unchanged.
-func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
-	type rawEdge struct {
-		from, to uint32
-		prob     float32
-	}
-	var raw []rawEdge
-	remap := make(map[int64]uint32)
-	id := func(x int64) uint32 {
-		if v, ok := remap[x]; ok {
-			return v
-		}
-		v := uint32(len(remap))
-		remap[x] = v
+// idRemap assigns dense 0..n-1 ids to arbitrary non-negative node ids in
+// first-appearance order — deterministic, so two scans of the same file
+// produce the same mapping (the streaming converter relies on this).
+type idRemap map[int64]uint32
+
+func (m idRemap) id(x int64) uint32 {
+	if v, ok := m[x]; ok {
 		return v
 	}
+	v := uint32(len(m))
+	m[x] = v
+	return v
+}
 
+// streamEdgeList scans a SNAP-style plain-text edge list — one "u v" or
+// "u v p" line per edge, '#' or '%' comment lines ignored, self-loops
+// silently dropped (common in raw crawls) — remapping ids through remap
+// and calling emit per directed edge (both directions when undirected).
+// Lines without a probability get probability 1.
+func streamEdgeList(r io.Reader, undirected bool, remap idRemap, emit func(from, to uint32, prob float32) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -46,43 +41,98 @@ func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+			return fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source id %q: %v", lineNo, fields[0], err)
+			return fmt.Errorf("graph: line %d: bad source id %q: %v", lineNo, fields[0], err)
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad target id %q: %v", lineNo, fields[1], err)
+			return fmt.Errorf("graph: line %d: bad target id %q: %v", lineNo, fields[1], err)
 		}
 		p := float32(1)
 		if len(fields) >= 3 {
 			pf, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad probability %q: %v", lineNo, fields[2], err)
+				return fmt.Errorf("graph: line %d: bad probability %q: %v", lineNo, fields[2], err)
 			}
 			p = float32(pf)
 		}
 		if u == v {
-			continue // silently drop self-loops, common in raw crawls
+			continue
 		}
-		ui, vi := id(u), id(v)
-		raw = append(raw, rawEdge{ui, vi, p})
+		ui, vi := remap.id(u), remap.id(v)
+		if err := emit(ui, vi, p); err != nil {
+			return err
+		}
 		if undirected {
-			raw = append(raw, rawEdge{vi, ui, p})
+			if err := emit(vi, ui, p); err != nil {
+				return err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return nil
+}
+
+// LoadEdgeList reads a SNAP-style plain-text edge list: one "u v" or
+// "u v p" line per edge, '#' or '%' comment lines ignored. Node ids are
+// arbitrary non-negative integers and are remapped to a dense 0..n-1 range
+// in first-appearance order. If undirected is true every line contributes
+// both directions. Lines without a probability get probability 1; callers
+// typically follow with AssignWeights to apply the paper's WC setting.
+//
+// Real SNAP datasets (the paper's Facebook/Google+/LiveJournal files) load
+// through this function unchanged.
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	var raw []Edge
+	remap := make(idRemap)
+	err := streamEdgeList(r, undirected, remap, func(from, to uint32, prob float32) error {
+		raw = append(raw, Edge{From: from, To: to, Prob: prob})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	b := NewBuilderHint(len(remap), len(raw))
 	for _, e := range raw {
-		if err := b.AddEdge(e.from, e.to, e.prob); err != nil {
+		if err := b.AddEdge(e.From, e.To, e.Prob); err != nil {
 			return nil, err
 		}
 	}
 	return b.Build(), nil
+}
+
+// ConvertEdgeListToSegmented streams a text edge list into a segmented
+// graph file without materializing the edge list or the CSR in memory
+// (peak RSS is the id remap plus the external-sort buffer). It scans the
+// file twice: pass one discovers the dense id mapping and node count,
+// pass two replays the same deterministic mapping into BuildSegmented.
+func ConvertEdgeListToSegmented(srcPath, dstPath string, undirected bool, opt SegmentBuildOptions) (*SegBuildStats, error) {
+	remap := make(idRemap)
+	f, err := os.Open(srcPath)
+	if err != nil {
+		return nil, err
+	}
+	err = streamEdgeList(f, undirected, remap, func(from, to uint32, prob float32) error { return nil })
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(remap) == 0 {
+		return nil, fmt.Errorf("graph: %s holds no edges", srcPath)
+	}
+	return BuildSegmented(dstPath, len(remap), func(emit func(from, to uint32, prob float32) error) error {
+		f, err := os.Open(srcPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return streamEdgeList(f, undirected, remap, emit)
+	}, opt)
 }
 
 // LoadEdgeListFile opens path and calls LoadEdgeList.
@@ -225,4 +275,74 @@ func ReadBinaryFile(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	return ReadBinary(f)
+}
+
+// LoadOptions configures LoadAny.
+type LoadOptions struct {
+	// Undirected doubles every edge of a text edge list (ignored for the
+	// binary and segmented formats, which store directed edges).
+	Undirected bool
+	// Weights is the CLI weight setting: a ParseWeightModel name, or
+	// "file" to keep the probabilities stored in the input.
+	Weights  string
+	UniformP float32 // UniformWeight's p
+	Seed     uint64  // Trivalency's draw seed
+	// Backend selects heap vs mmap materialization. Only the segmented
+	// format supports BackendMmap; the legacy formats must rebuild the
+	// in-CSR on load, which is inherently a heap operation.
+	Backend Backend
+}
+
+// LoadAny loads a graph from any of the repository's on-disk formats,
+// routed by extension — ".dsg" segmented, ".bin" legacy binary, anything
+// else a text edge list — and applies the requested weight model. It is
+// the one loader the cmds share, so every binary resolves formats,
+// backends and weights identically.
+//
+// For segmented files the weight model is reconciled against the tag
+// baked into the header: a match (or Weights "file") uses the stored
+// probabilities as-is — the path that keeps the mmap backend zero-copy —
+// while a mismatch falls back to AssignWeights on a heap copy (mem
+// backend only; reweighting a shared read-only mapping is refused with
+// *MappedGraphError, since the result would silently not be the file on
+// disk).
+func LoadAny(path string, o LoadOptions) (*Graph, error) {
+	var wm WeightModel
+	if o.Weights != "file" && o.Weights != "" {
+		var err error
+		if wm, err = ParseWeightModel(o.Weights); err != nil {
+			return nil, err
+		}
+	}
+	if strings.HasSuffix(path, ".dsg") {
+		g, err := OpenSegmented(path, o.Backend)
+		if err != nil {
+			return nil, err
+		}
+		if o.Weights == "file" || o.Weights == "" || wm.String() == g.WeightTag() {
+			return g, nil
+		}
+		if g.Mapped() {
+			g.Close()
+			return nil, &MappedGraphError{Path: path, Op: fmt.Sprintf("reassigning %q weights over stored %q weights", o.Weights, g.WeightTag())}
+		}
+		return AssignWeights(g, wm, o.UniformP, o.Seed)
+	}
+	if o.Backend == BackendMmap {
+		return nil, fmt.Errorf("graph: %s: the mmap backend requires the segmented format (convert with gengraph -convert %s -out graph.dsg)", path, path)
+	}
+	var g *Graph
+	var err error
+	if strings.HasSuffix(path, ".bin") {
+		g, err = ReadBinaryFile(path)
+	} else {
+		g, err = LoadEdgeListFile(path, o.Undirected)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.Weights == "file" || o.Weights == "" {
+		return g, nil
+	}
+	return AssignWeights(g, wm, o.UniformP, o.Seed)
 }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The mapping stays
+// valid after f is closed.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// madviseRandom hints that access will be random (disable readahead).
+// Advice is best-effort; errors are ignored on platforms without it.
+func madviseRandom(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	_ = syscall.Madvise(data, syscall.MADV_RANDOM)
+}
+
+// madviseDontneed drops the mapping's resident pages. For a read-only
+// MAP_SHARED file mapping this only discards PTEs (the data stays in
+// the file and usually the page cache), so it is always safe.
+func madviseDontneed(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Madvise(data, syscall.MADV_DONTNEED)
+}

@@ -120,9 +120,18 @@ type mutState struct {
 // EnableMutation switches the graph into mutable mode. Idempotent. Must
 // be called before the graph is shared with concurrent readers; after
 // that, ApplyUpdates calls must be externally serialized against reads.
-func (g *Graph) EnableMutation() {
+//
+// Mmap-backed graphs are rejected with *MappedGraphError: removals and
+// reweights write probabilities through the CSR slots in place, which on
+// a MAP_SHARED read-only mapping would fault (or, worse, mutate a file
+// other processes have mapped). Until a mutation overlay over segments
+// lands, dynamic workloads must load with the mem backend.
+func (g *Graph) EnableMutation() error {
+	if g.Mapped() {
+		return &MappedGraphError{Path: g.seg.path, Op: "EnableMutation"}
+	}
 	if g.mut != nil {
-		return
+		return nil
 	}
 	m := &mutState{
 		inIdx:  make([]int32, g.n),
@@ -133,6 +142,7 @@ func (g *Graph) EnableMutation() {
 		m.outIdx[i] = -1
 	}
 	g.mut = m
+	return nil
 }
 
 // MutationEnabled reports whether EnableMutation has been called.

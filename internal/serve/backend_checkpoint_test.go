@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dimm/internal/graph"
+)
+
+// TestCheckpointBackendByteIdentity: a query service warmed over an
+// mmap-backed graph must write byte-for-byte the checkpoints of one
+// warmed over the heap-backed copy of the same segmented file, and
+// answer queries identically. This is what lets a worker restart with a
+// different -graph-backend (say, after the graph outgrew RAM) and still
+// restore its predecessor's checkpoints: the store binds checkpoints to
+// graph.ContentHash, which the backends share.
+func TestCheckpointBackendByteIdentity(t *testing.T) {
+	base := testGraph(t)
+	segPath := filepath.Join(t.TempDir(), "g.dsg")
+	if err := graph.WriteSegmentedFile(segPath, base, "wc"); err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		files map[string][]byte
+		seeds []uint32
+		theta int64
+	}
+	run := func(backend graph.Backend) outcome {
+		t.Helper()
+		g, err := graph.OpenSegmented(segPath, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		dir := t.TempDir()
+		s := testService(t, Config{Graph: g, Machines: 2, CheckpointDir: dir})
+		res, err := s.Warm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.CheckpointEpochs == 0 || st.CheckpointErrors != 0 {
+			t.Fatalf("%v: epochs=%d errors=%d", backend, st.CheckpointEpochs, st.CheckpointErrors)
+		}
+		s.Close()
+		files := map[string][]byte{}
+		err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			files[rel] = b
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{files: files, seeds: res.Seeds, theta: st.Theta}
+	}
+
+	mem := run(graph.BackendMem)
+	mmap := run(graph.BackendMmap)
+
+	if !reflect.DeepEqual(mem.seeds, mmap.seeds) || mem.theta != mmap.theta {
+		t.Fatalf("backends diverged: mem seeds=%v θ=%d, mmap seeds=%v θ=%d",
+			mem.seeds, mem.theta, mmap.seeds, mmap.theta)
+	}
+	if len(mem.files) == 0 {
+		t.Fatal("no checkpoint files written")
+	}
+	if len(mem.files) != len(mmap.files) {
+		t.Fatalf("checkpoint file sets differ: mem %d files, mmap %d files", len(mem.files), len(mmap.files))
+	}
+	for name, want := range mem.files {
+		got, ok := mmap.files[name]
+		if !ok {
+			t.Fatalf("mmap checkpoint missing %s", name)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("checkpoint %s differs between backends (%d vs %d bytes)", name, len(want), len(got))
+		}
+	}
+}

@@ -391,7 +391,9 @@ func New(cfg Config) (*Service, error) {
 		if cfg.Restore {
 			return nil, fmt.Errorf("serve: dynamic services cannot restore: a restored sample has no lane provenance to repair from; start cold or serve the checkpoint statically")
 		}
-		cfg.Graph.EnableMutation()
+		if err := cfg.Graph.EnableMutation(); err != nil {
+			return nil, fmt.Errorf("serve: dynamic mode: %w", err)
+		}
 	}
 	s := &Service{
 		cfg:    cfg,
