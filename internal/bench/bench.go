@@ -31,9 +31,12 @@ type Config struct {
 	CoreCounts   []int // ℓ sweep for the multi-core figures (6, 7, 9, 10)
 	Datasets     []string
 	MaxCoverK    int // k for Fig. 10 (defaults to K)
-	// Repeats re-runs every cell and keeps the fastest measurement (the
-	// paper averages 10 runs; the minimum is the stabler choice against
-	// scheduler and GC noise on a shared box). Defaults to 1.
+	// Repeats re-runs every cell. The figure tables report the fastest
+	// run — the minimum is the stabler point estimate against scheduler
+	// and GC noise on a shared box — which is NOT the paper's
+	// average-of-10 protocol; the sweep envelopes (BENCH_*.json) record
+	// min/mean/max so the regression differ can compare means with the
+	// min as tiebreak. Defaults to 1.
 	Repeats int
 	// Parallelism is the intra-worker RR-generation shard count passed to
 	// every run (core.Options.Parallelism). The default 0 resolves to 1 —

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// buildEnvelope assembles a small envelope with one metric of each
+// comparable class, observed over three repeats, scaled by f (f > 1
+// simulates a uniformly slower box: times up, rates down, exacts fixed).
+func buildEnvelope(t *testing.T, f float64) *Envelope {
+	t.Helper()
+	eb := newEnvelopeBuilder("demo", "tiny", map[string]any{"n": 10}, 0)
+	for _, base := range []float64{1.0, 1.1, 0.9} {
+		eb.observe("gen_s", ClassTime, "s", base*f)
+		eb.observe("qps", ClassRate, "req/s", 1000*base/f)
+		eb.observe("sets", ClassExact, "sets", 4096)
+		eb.observe("note", ClassInfo, "x", base*f)
+	}
+	env, err := eb.finish(3, map[string]int{"raw": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := buildEnvelope(t, 1)
+	if env.Schema != EnvelopeSchema || env.Repeats != 3 {
+		t.Fatalf("bad envelope header: %+v", env)
+	}
+	m := env.Metrics["gen_s"]
+	if m.Min != 0.9 || m.Max != 1.1 || m.Mean < 0.999 || m.Mean > 1.001 {
+		t.Fatalf("gen_s aggregate = %+v, want min 0.9 mean 1.0 max 1.1", m)
+	}
+	if s := env.Metrics["sets"]; s.Min != s.Max || s.Min != 4096 {
+		t.Fatalf("exact metric spread: %+v", s)
+	}
+
+	path := filepath.Join(t.TempDir(), "env.json")
+	if err := env.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEnvelope(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "demo" || back.Metrics["qps"].Class != ClassRate {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestReadEnvelopeRejectsRawReports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	// A pre-envelope raw report has no schema field.
+	if err := (&Envelope{}).WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelope(path); err == nil {
+		t.Fatal("schema-less file accepted as an envelope")
+	}
+}
+
+func TestDiffEnvelopesCleanRun(t *testing.T) {
+	base := buildEnvelope(t, 1)
+	// Identical re-run: no regressions at any tolerance.
+	for _, tol := range []float64{0.25, 0, -1} {
+		if regs := DiffEnvelopes(base, buildEnvelope(t, 1), tol); len(regs) != 0 {
+			t.Fatalf("tol=%g: identical run flagged: %v", tol, regs)
+		}
+	}
+	// 10% slower is inside a 25% tolerance.
+	if regs := DiffEnvelopes(base, buildEnvelope(t, 1.1), 0.25); len(regs) != 0 {
+		t.Fatalf("10%% drift inside 25%% tolerance flagged: %v", regs)
+	}
+}
+
+func TestDiffEnvelopesCatchesSlowdown(t *testing.T) {
+	base := buildEnvelope(t, 1)
+	slow := buildEnvelope(t, 2) // 2x slower across the board
+	regs := DiffEnvelopes(base, slow, 0.25)
+	found := map[string]bool{}
+	for _, r := range regs {
+		found[r.Metric] = true
+	}
+	if !found["gen_s"] || !found["qps"] {
+		t.Fatalf("2x slowdown missed: %v", regs)
+	}
+	if found["sets"] || found["note"] {
+		t.Fatalf("exact/info metrics flagged on a timing-only slowdown: %v", regs)
+	}
+	// Exact-only mode must ignore the timing regression entirely.
+	if regs := DiffEnvelopes(base, slow, -1); len(regs) != 0 {
+		t.Fatalf("exact-only mode compared timings: %v", regs)
+	}
+}
+
+func TestDiffEnvelopesMinTiebreak(t *testing.T) {
+	// Mean regressed but the min did not: one noisy repeat, not a real
+	// slowdown — must pass.
+	base := newEnvelopeBuilder("demo", "tiny", nil, 0)
+	base.observe("gen_s", ClassTime, "s", 1.0)
+	base.observe("gen_s", ClassTime, "s", 1.0)
+	benv, _ := base.finish(2, nil)
+
+	noisy := newEnvelopeBuilder("demo", "tiny", nil, 0)
+	noisy.observe("gen_s", ClassTime, "s", 1.0) // min unchanged
+	noisy.observe("gen_s", ClassTime, "s", 2.0) // one bad repeat
+	nenv, _ := noisy.finish(2, nil)
+	if regs := DiffEnvelopes(benv, nenv, 0.25); len(regs) != 0 {
+		t.Fatalf("single noisy repeat flagged despite unmoved min: %v", regs)
+	}
+}
+
+func TestDiffEnvelopesExactDriftAndMissing(t *testing.T) {
+	base := buildEnvelope(t, 1)
+
+	drift := buildEnvelope(t, 1)
+	m := drift.Metrics["sets"]
+	m.Min, m.Mean, m.Max = 4097, 4097, 4097
+	drift.Metrics["sets"] = m
+	regs := DiffEnvelopes(base, drift, -1)
+	if len(regs) != 1 || regs[0].Metric != "sets" {
+		t.Fatalf("exact drift: got %v, want exactly [sets]", regs)
+	}
+
+	missing := buildEnvelope(t, 1)
+	delete(missing.Metrics, "sets")
+	regs = DiffEnvelopes(base, missing, -1)
+	if len(regs) != 1 || regs[0].Metric != "sets" {
+		t.Fatalf("missing metric: got %v, want exactly [sets]", regs)
+	}
+
+	// A new metric absent from the baseline is not a regression.
+	extra := buildEnvelope(t, 1)
+	extra.Metrics["new_thing"] = EnvelopeMetric{Class: ClassExact, Mean: 1, Min: 1, Max: 1}
+	if regs := DiffEnvelopes(base, extra, -1); len(regs) != 0 {
+		t.Fatalf("new metric flagged: %v", regs)
+	}
+}
+
+// TestDiffEnvelopesTolScale: a metric tagged with a per-metric
+// tolerance scale tolerates proportionally more drift (tail latencies
+// legitimately swing harder than means), while an untagged metric at
+// the same drift still fails.
+func TestDiffEnvelopesTolScale(t *testing.T) {
+	build := func(v float64) *Envelope {
+		eb := newEnvelopeBuilder("demo", "tiny", nil, 0)
+		eb.observe("p99_ms", ClassTime, "ms", v)
+		eb.setTolScale("p99_ms", 3)
+		eb.observe("mean_ms", ClassTime, "ms", v)
+		env, err := eb.finish(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	base := build(1.0)
+	if got := base.Metrics["p99_ms"].TolScale; got != 3 {
+		t.Fatalf("tol_scale not recorded: %+v", base.Metrics["p99_ms"])
+	}
+	// 50% slower: inside 3x25%=75% for the p99, outside 25% for the mean.
+	regs := DiffEnvelopes(base, build(1.5), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "mean_ms" {
+		t.Fatalf("tol scale misapplied: got %v, want exactly [mean_ms]", regs)
+	}
+	// 2x slower clears even the scaled allowance.
+	if regs := DiffEnvelopes(base, build(2.0), 0.25); len(regs) != 2 {
+		t.Fatalf("2x drift should flag both: %v", regs)
+	}
+}
+
+// TestHandicapFailsDiff pins the harness-validation loop end to end at
+// the builder level: a handicapped run of the very same measurements
+// must fail the diff against the clean baseline.
+func TestHandicapFailsDiff(t *testing.T) {
+	clean := newEnvelopeBuilder("demo", "tiny", nil, 0)
+	handicapped := newEnvelopeBuilder("demo", "tiny", nil, 1.0) // 2x
+	for _, eb := range []*envelopeBuilder{clean, handicapped} {
+		eb.observe("gen_s", ClassTime, "s", 1.0)
+		eb.observe("qps", ClassRate, "req/s", 500)
+	}
+	benv, _ := clean.finish(1, nil)
+	henv, _ := handicapped.finish(1, nil)
+	if regs := DiffEnvelopes(benv, henv, 0.25); len(regs) != 2 {
+		t.Fatalf("handicapped run produced %v, want both timing metrics flagged", regs)
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// TestSweepSelectEndToEnd drives the sweep runner through its full
+// cycle on the cheapest bench at the tiny profile: generate envelopes,
+// re-check against them (self-diff must pass), then prove a
+// deliberately handicapped run fails the check.
+func TestSweepSelectEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{Out: io.Discard}.WithDefaults()
+
+	gen := SweepOptions{
+		Profile: "tiny",
+		Only:    []string{"select"},
+		Repeats: 2,
+		OutDir:  dir,
+	}
+	if err := c.Sweep(gen); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	env, err := ReadEnvelope(filepath.Join(dir, "BENCH_SELECT.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Bench != "select" || env.Profile != "tiny" || env.Repeats != 2 {
+		t.Fatalf("bad envelope header: %+v", env)
+	}
+	if len(env.Report) == 0 {
+		t.Fatal("envelope missing the raw legacy report")
+	}
+	cov, ok := env.Metrics["p1.coverage"]
+	if !ok || cov.Class != ClassExact {
+		t.Fatalf("p1.coverage missing or misclassified: %+v", env.Metrics)
+	}
+	if cov.Min != cov.Max {
+		t.Fatalf("exact metric varied across same-seed repeats: %+v", cov)
+	}
+	if _, ok := env.Metrics["p1.sel_critical_s"]; !ok {
+		t.Fatalf("p1.sel_critical_s missing: %+v", env.Metrics)
+	}
+
+	// Re-run in check mode against the fresh baselines. Timing on a
+	// loaded test box is noisy, so use exact-only mode — the seeded
+	// bench must reproduce its exact metrics bit for bit.
+	check := gen
+	check.OutDir = t.TempDir()
+	check.Check = true
+	check.BaselineDir = dir
+	check.Tolerance = -1
+	if err := c.Sweep(check); err != nil {
+		t.Fatalf("self-check: %v", err)
+	}
+
+	// A handicapped run must fail a timing-aware check even at a huge
+	// tolerance: every time metric is 10x slower, min and mean alike.
+	slow := check
+	slow.OutDir = t.TempDir()
+	slow.Tolerance = 0.5
+	slow.Handicap = 9
+	if err := c.Sweep(slow); err == nil {
+		t.Fatal("handicapped sweep passed the regression check")
+	}
+}
+
+func TestSweepRejectsUnknowns(t *testing.T) {
+	c := Config{Out: io.Discard}.WithDefaults()
+	if err := c.Sweep(SweepOptions{Profile: "nope", OutDir: t.TempDir()}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := c.Sweep(SweepOptions{Profile: "tiny", Only: []string{"bogus"}, OutDir: t.TempDir()}); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dimm/internal/coverage"
+	"dimm/internal/metrics"
 	"dimm/internal/rrset"
 )
 
@@ -18,6 +19,10 @@ import (
 // critical-path times: per request round, the *maximum* worker busy time —
 // which is what an ℓ-machine deployment's wall clock would pay (the
 // paper's Corollary 1 shows per-machine work concentrates at total/ℓ).
+//
+// Metrics is a point-in-time snapshot assembled by Cluster.Metrics();
+// the live accounting is registry-backed (see clusterMetrics), so
+// snapshots are safe to take from any goroutine mid-round.
 type Metrics struct {
 	// GenCritical sums, over generation rounds, the slowest worker's
 	// sampling time: the cluster wall-clock cost of distributed RIS.
@@ -83,9 +88,68 @@ type Metrics struct {
 	Batch rrset.BatchStats
 }
 
+// clusterMetrics holds the registry handles behind the Metrics view.
+// Handles are resolved once at construction, so the per-round recording
+// below is pure atomics — cheap enough for the selection inner loop and
+// safe against concurrent Metrics()/snapshot readers.
+type clusterMetrics struct {
+	genCritical   *metrics.Counter // ns, per-round max worker time, gen phase
+	genTotal      *metrics.Counter // ns, per-round summed worker time, gen phase
+	selCritical   *metrics.Counter // ns
+	selTotal      *metrics.Counter // ns
+	masterCompute *metrics.Counter // ns
+	comm          *metrics.Counter // ns
+	genBytesSent  *metrics.Counter
+	genBytesRecv  *metrics.Counter
+	selBytesSent  *metrics.Counter
+	selBytesRecv  *metrics.Counter
+	// delta records one observation per decoded delta reply:
+	// x = frame bytes, y = ⟨v, Δ⟩ pairs carried (Count = frames).
+	delta *metrics.Bivariate
+	// sketchBuild observes one duration per incremental sketch build
+	// pass (Count = builds, Sum = total build time).
+	sketchBuild  *metrics.Univariate
+	rounds       *metrics.Counter
+	updateCalls  *metrics.Counter
+	repairedSets *metrics.Counter
+	genCalls     *metrics.Counter
+}
+
+func newClusterMetrics(reg *metrics.Registry) clusterMetrics {
+	return clusterMetrics{
+		genCritical:   reg.Counter("cluster.gen.critical_ns"),
+		genTotal:      reg.Counter("cluster.gen.total_ns"),
+		selCritical:   reg.Counter("cluster.sel.critical_ns"),
+		selTotal:      reg.Counter("cluster.sel.total_ns"),
+		masterCompute: reg.Counter("cluster.master.compute_ns"),
+		comm:          reg.Counter("cluster.comm_ns"),
+		genBytesSent:  reg.Counter("cluster.gen.bytes_sent"),
+		genBytesRecv:  reg.Counter("cluster.gen.bytes_recv"),
+		selBytesSent:  reg.Counter("cluster.sel.bytes_sent"),
+		selBytesRecv:  reg.Counter("cluster.sel.bytes_recv"),
+		delta:         reg.Bivariate("cluster.delta.frame_bytes_pairs"),
+		sketchBuild:   reg.Univariate("cluster.sketch.build_ns"),
+		rounds:        reg.Counter("cluster.rounds"),
+		updateCalls:   reg.Counter("cluster.update.calls"),
+		repairedSets:  reg.Counter("cluster.update.repaired_sets"),
+		genCalls:      reg.Counter("cluster.gen.calls"),
+	}
+}
+
 // add merges worker handler times for one broadcast round into the
-// metrics under the given phase ("gen" or "sel").
-func (m *Metrics) add(phase string, wall time.Duration, handlers []time.Duration) {
+// registry under the given phase ("gen" or "sel").
+//
+// The communication share depends on the broadcast mode. Under
+// concurrent broadcast the round's wall clock is max(handler) plus
+// transport, so comm = wall − max. (The historic attribution here was
+// wall − sum, which silently clamped comm to zero whenever workers
+// genuinely overlapped, i.e. wall < sum — under-reporting the Fig. 5/6
+// communication component exactly when the cluster was parallel.)
+// Under sequential broadcast the workers run back to back — wall =
+// sum + transport — so wall − sum is the correct share there, and
+// wall ≥ sum always holds, which is why the bug could not bite in
+// sequential mode.
+func (m *clusterMetrics) add(phase string, wall time.Duration, handlers []time.Duration, sequential bool) {
 	var sum, max time.Duration
 	for _, h := range handlers {
 		sum += h
@@ -95,29 +159,33 @@ func (m *Metrics) add(phase string, wall time.Duration, handlers []time.Duration
 	}
 	switch phase {
 	case "gen":
-		m.GenCritical += max
-		m.GenTotal += sum
+		m.genCritical.AddDuration(max)
+		m.genTotal.AddDuration(sum)
 	default:
-		m.SelCritical += max
-		m.SelTotal += sum
+		m.selCritical.AddDuration(max)
+		m.selTotal.AddDuration(sum)
 	}
-	if wall > sum {
-		m.Comm += wall - sum
+	busy := max
+	if sequential {
+		busy = sum
 	}
-	m.Rounds++
+	if wall > busy {
+		m.comm.AddDuration(wall - busy)
+	}
+	m.rounds.Inc()
 }
 
 // account merges one broadcast round into the metrics under the given
 // phase and attributes the round's frame bytes to that phase's byte
 // counters.
 func (c *Cluster) account(phase string, wall time.Duration, handlers []time.Duration) {
-	c.met.add(phase, wall, handlers)
+	c.met.add(phase, wall, handlers, c.sequential)
 	if phase == "gen" {
-		c.met.GenBytesSent += c.roundSent
-		c.met.GenBytesReceived += c.roundRecv
+		c.met.genBytesSent.Add(c.roundSent)
+		c.met.genBytesRecv.Add(c.roundRecv)
 	} else {
-		c.met.SelBytesSent += c.roundSent
-		c.met.SelBytesReceived += c.roundRecv
+		c.met.selBytesSent.Add(c.roundSent)
+		c.met.selBytesRecv.Add(c.roundRecv)
 	}
 	c.roundSent, c.roundRecv = 0, 0
 }
@@ -125,9 +193,7 @@ func (c *Cluster) account(phase string, wall time.Duration, handlers []time.Dura
 // countDeltaFrame records one decoded delta reply's frame size and pair
 // count, the data behind the fixed-width-vs-adaptive wire comparison.
 func (c *Cluster) countDeltaFrame(frame []byte, pairs []DeltaPair) {
-	c.met.DeltaFrames++
-	c.met.DeltaPairs += int64(len(pairs))
-	c.met.DeltaBytes += int64(len(frame))
+	c.met.delta.Observe(int64(len(frame)), int64(len(pairs)))
 }
 
 // CriticalPath estimates the wall clock of a genuinely parallel
@@ -176,7 +242,11 @@ type Cluster struct {
 	roundSent int64
 	roundRecv int64
 
-	met Metrics
+	// reg is the cluster's metric registry; met caches the typed handles
+	// the hot paths record through. Metrics() assembles the legacy
+	// snapshot struct from the same handles.
+	reg *metrics.Registry
+	met clusterMetrics
 
 	// Fault-tolerance state (nil/empty until EnableRecovery; see
 	// recovery.go). healthMu guards the fields Health() reads while an
@@ -216,6 +286,7 @@ func New(conns []Conn, numItems int) (*Cluster, error) {
 	if numItems <= 0 {
 		return nil, fmt.Errorf("cluster: item count must be positive, got %d", numItems)
 	}
+	reg := metrics.NewRegistry()
 	return &Cluster{
 		conns:        conns,
 		numItems:     numItems,
@@ -223,6 +294,8 @@ func New(conns []Conn, numItems int) (*Cluster, error) {
 		mergeScratch: make([]int32, numItems),
 		sequential:   runtime.GOMAXPROCS(0) == 1,
 		batchLast:    make([]rrset.BatchStats, len(conns)),
+		reg:          reg,
+		met:          newClusterMetrics(reg),
 	}, nil
 }
 
@@ -262,9 +335,33 @@ func NewLocal(cfgs []WorkerConfig, numItems int) (*Cluster, error) {
 func (c *Cluster) NumWorkers() int { return len(c.conns) }
 
 // Metrics returns a snapshot of the accumulated accounting, folding in
-// the per-connection byte counters.
+// the per-connection byte counters. Safe to call concurrently with
+// in-flight rounds: the registry handles are atomics, and the
+// connection/batch state shared with the failover path is read under
+// healthMu (the lock quarantine and adoptConn mutate it under).
 func (c *Cluster) Metrics() Metrics {
-	m := c.met
+	m := Metrics{
+		GenCritical:      c.met.genCritical.Duration(),
+		GenTotal:         c.met.genTotal.Duration(),
+		SelCritical:      c.met.selCritical.Duration(),
+		SelTotal:         c.met.selTotal.Duration(),
+		MasterCompute:    c.met.masterCompute.Duration(),
+		Comm:             c.met.comm.Duration(),
+		GenBytesSent:     c.met.genBytesSent.Value(),
+		GenBytesReceived: c.met.genBytesRecv.Value(),
+		SelBytesSent:     c.met.selBytesSent.Value(),
+		SelBytesReceived: c.met.selBytesRecv.Value(),
+		DeltaFrames:      c.met.delta.Count(),
+		DeltaPairs:       c.met.delta.SumY(),
+		DeltaBytes:       c.met.delta.SumX(),
+		SketchBuilds:     c.met.sketchBuild.Count(),
+		SketchBuildTime:  c.met.sketchBuild.SumDuration(),
+		Rounds:           c.met.rounds.Value(),
+		UpdateCalls:      c.met.updateCalls.Value(),
+		RepairedSets:     c.met.repairedSets.Value(),
+		GenCalls:         c.met.genCalls.Value(),
+	}
+	c.healthMu.Lock()
 	for _, conn := range c.conns {
 		s, r := conn.Bytes()
 		m.BytesSent += s
@@ -276,7 +373,37 @@ func (c *Cluster) Metrics() Metrics {
 	for _, b := range c.batchLast {
 		m.Batch.Add(b)
 	}
+	c.healthMu.Unlock()
 	return m
+}
+
+// MetricsSnapshot exports the cluster's accounting as one registry
+// snapshot: the registry-backed counters plus the derived totals
+// (connection bytes, frontier-batch counters) that live outside it.
+// This is the /metricsz export path.
+func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
+	snap := c.reg.Snapshot()
+	m := c.Metrics()
+	counter := func(name string, v int64) {
+		snap[name] = metrics.Sample{Kind: metrics.KindCounter, Sum: v}
+	}
+	counter("cluster.bytes_sent", m.BytesSent)
+	counter("cluster.bytes_recv", m.BytesReceived)
+	counter("cluster.batch.waves", m.Batch.Waves)
+	counter("cluster.batch.cohorts", m.Batch.Cohorts)
+	counter("cluster.batch.frontier_items", m.Batch.FrontierItems)
+	counter("cluster.batch.lane_waves", m.Batch.LaneWaves)
+	counter("cluster.batch.skipped_edges", m.Batch.SkippedEdges)
+	return snap
+}
+
+// setBatchLast records worker i's last reported cumulative batching
+// counters under healthMu — quarantine folds the same slot into
+// retiredBatch concurrently with Metrics() readers.
+func (c *Cluster) setBatchLast(i int, b rrset.BatchStats) {
+	c.healthMu.Lock()
+	c.batchLast[i] = b
+	c.healthMu.Unlock()
 }
 
 // Close shuts down all worker connections, keeping the first error.
@@ -387,7 +514,7 @@ func (c *Cluster) broadcast(reqs [][]byte) (resps [][]byte, wall time.Duration, 
 		if c.linkBw > 0 {
 			extra += time.Duration(float64(totalBytes) / c.linkBw * float64(time.Second))
 		}
-		c.met.Comm += extra
+		c.met.comm.AddDuration(extra)
 	}
 	return resps, wall, downs, nil
 }
@@ -449,12 +576,12 @@ func (c *Cluster) Generate(addTotal int64) (GenerateStats, error) {
 		agg.TotalSize += s.TotalSize
 		agg.EdgesExamined += s.EdgesExamined
 		agg.Batch.Add(s.Batch)
-		c.batchLast[i] = s.Batch
+		c.setBatchLast(i, s.Batch)
 		if counts[i] > 0 {
 			c.record(i, reqs[i], counts[i], 0)
 		}
 	}
-	c.met.GenCalls++
+	c.met.genCalls.Inc()
 	c.account("gen", wall, handlers)
 	if len(downs) > 0 {
 		extraLost := make(map[int]int64, len(downs))
@@ -509,7 +636,7 @@ func (c *Cluster) syncDegrees() error {
 			c.logs[i].synced = c.logs[i].count()
 		}
 	}
-	c.met.MasterCompute += time.Since(start)
+	c.met.masterCompute.AddDuration(time.Since(start))
 	c.account("sel", wall, handlers)
 	return nil
 }
@@ -624,7 +751,7 @@ func (c *Cluster) Stats() (GenerateStats, error) {
 			agg.TotalSize += s.TotalSize
 			agg.EdgesExamined += s.EdgesExamined
 			agg.Batch.Add(s.Batch)
-			c.batchLast[i] = s.Batch
+			c.setBatchLast(i, s.Batch)
 		}
 		c.account("sel", wall, handlers)
 		return agg, nil
@@ -736,7 +863,7 @@ func (c *Cluster) GatherAll() (*rrset.Collection, error) {
 				return nil, err
 			}
 		}
-		c.met.MasterCompute += time.Since(start)
+		c.met.masterCompute.AddDuration(time.Since(start))
 		c.account("sel", wall, handlers)
 		return union, nil
 	}
@@ -820,7 +947,7 @@ func (c *Cluster) FetchNewSpans(since []int, into *rrset.Collection) ([]int, []F
 				c.logs[i].fetched = int64(next[i])
 			}
 		}
-		c.met.MasterCompute += time.Since(start)
+		c.met.masterCompute.AddDuration(time.Since(start))
 		c.account("sel", wall, handlers)
 		if len(downs) == 0 {
 			return next, spans, nil
@@ -1062,18 +1189,17 @@ func (o *distOracle) Select(u uint32) ([]coverage.Delta, error) {
 		// labels exactly.
 		c.selSeeds = append(c.selSeeds, u)
 	}
-	c.met.MasterCompute += time.Since(start)
+	c.met.masterCompute.AddDuration(time.Since(start))
 	c.account("sel", wall, handlers)
 	return out, nil
 }
 
 // AddMasterCompute lets the selection driver account bucket-scan time.
-func (c *Cluster) AddMasterCompute(d time.Duration) { c.met.MasterCompute += d }
+func (c *Cluster) AddMasterCompute(d time.Duration) { c.met.masterCompute.AddDuration(d) }
 
 // AddSketchBuild lets the serving layer account one incremental sketch
 // build pass over this cluster's RR output (the fast tier's analogue of
 // AddMasterCompute).
 func (c *Cluster) AddSketchBuild(d time.Duration) {
-	c.met.SketchBuilds++
-	c.met.SketchBuildTime += d
+	c.met.sketchBuild.ObserveDuration(d)
 }

@@ -364,10 +364,10 @@ func (c *Cluster) Update(b mutate.Batch) ([][]rrset.Patch, error) {
 			}
 			c.baseDeg[p.Node] += int64(p.Dec)
 		}
-		c.met.RepairedSets += int64(len(patches[i]))
+		c.met.repairedSets.Add(int64(len(patches[i])))
 		c.record(i, req, 0, 0)
 	}
-	c.met.UpdateCalls++
+	c.met.updateCalls.Inc()
 	c.account("gen", wall, handlers)
 	if len(downs) > 0 {
 		if err := c.repair(downs, nil); err != nil {

@@ -1,0 +1,297 @@
+// Package metrics is the unified instrumentation registry: one
+// threadsafe home for every counter the system exposes, replacing the
+// hand-merged cluster.Metrics fields, the serve-layer atomics and the
+// ad-hoc BENCH_*.json shapes that had each grown their own accounting.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path recording must be cheap enough for the sampling and
+//     selection inner loops: every metric type records with a handful of
+//     lock-free atomics, and producers hold typed handles so recording
+//     never touches the registry map.
+//  2. Snapshots must be safe to take at any instant from any goroutine
+//     (the /statsz and /metricsz handlers do), and deterministic to
+//     serialize, so two snapshots of identical state are byte-identical
+//     JSON — the property the perf-regression harness diffs rely on.
+//  3. Names are hierarchical dotted paths ("cluster.gen.critical_ns",
+//     "http.seeds.latency_ns") so exports group naturally and later
+//     subsystems extend the namespace without coordination.
+//
+// Four metric types cover everything the system measures:
+//
+//   - Counter: a monotonically accumulating int64 (bytes, rounds, hits).
+//   - Gauge: a last-write-wins int64 (resident θ, batch width).
+//   - Univariate: count/sum/min/max over observed values — the timing
+//     type (observe one duration per event; mean = Sum/Count).
+//   - Bivariate: paired sums (x, y) per event — e.g. frame bytes vs
+//     carried pairs, where the ratio is the quantity under study.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates the metric types in snapshots.
+type Kind string
+
+const (
+	KindCounter    Kind = "counter"
+	KindGauge      Kind = "gauge"
+	KindUnivariate Kind = "univariate"
+	KindBivariate  Kind = "bivariate"
+)
+
+// Counter is a monotonically accumulating int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add accumulates n (negative n is permitted for correction entries,
+// but counters are conventionally monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// AddDuration accumulates d in nanoseconds — the convention for every
+// *_ns counter in the registry.
+func (c *Counter) AddDuration(d time.Duration) { c.v.Add(int64(d)) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Duration returns the current total interpreted as nanoseconds.
+func (c *Counter) Duration() time.Duration { return time.Duration(c.v.Load()) }
+
+// Gauge is a last-write-wins int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Univariate aggregates count, sum, min and max of observed values —
+// the timing/size-distribution type. Recording is four atomics (two
+// adds, two CAS loops that almost always exit on the first load).
+type Univariate struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // math.MaxInt64 until the first observation
+	max   atomic.Int64 // math.MinInt64 until the first observation
+	init  sync.Once
+}
+
+func (u *Univariate) ensureInit() {
+	u.init.Do(func() {
+		u.min.Store(math.MaxInt64)
+		u.max.Store(math.MinInt64)
+	})
+}
+
+// Observe records one value.
+func (u *Univariate) Observe(v int64) {
+	u.ensureInit()
+	u.count.Add(1)
+	u.sum.Add(v)
+	for {
+		cur := u.min.Load()
+		if v >= cur || u.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := u.max.Load()
+		if v <= cur || u.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records one duration in nanoseconds.
+func (u *Univariate) ObserveDuration(d time.Duration) { u.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (u *Univariate) Count() int64 { return u.count.Load() }
+
+// Sum returns the sum of observed values.
+func (u *Univariate) Sum() int64 { return u.sum.Load() }
+
+// SumDuration returns the summed observations as nanoseconds.
+func (u *Univariate) SumDuration() time.Duration { return time.Duration(u.sum.Load()) }
+
+// Bivariate aggregates paired observations (x, y): the event count and
+// both sums, e.g. x = frame bytes, y = pairs carried, so SumX/SumY is
+// the bytes-per-pair under study.
+type Bivariate struct {
+	count atomic.Int64
+	sumX  atomic.Int64
+	sumY  atomic.Int64
+}
+
+// Observe records one (x, y) pair.
+func (b *Bivariate) Observe(x, y int64) {
+	b.count.Add(1)
+	b.sumX.Add(x)
+	b.sumY.Add(y)
+}
+
+// Count returns the number of observations.
+func (b *Bivariate) Count() int64 { return b.count.Load() }
+
+// SumX returns the accumulated x values.
+func (b *Bivariate) SumX() int64 { return b.sumX.Load() }
+
+// SumY returns the accumulated y values.
+func (b *Bivariate) SumY() int64 { return b.sumY.Load() }
+
+// Sample is one metric's state in a snapshot. Count/Sum/Min/Max follow
+// the metric kind: a counter or gauge only carries Sum (its value), a
+// univariate carries all four, a bivariate carries Count/Sum (= x) and
+// SumY.
+type Sample struct {
+	Kind  Kind  `json:"kind"`
+	Count int64 `json:"count,omitempty"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min,omitempty"`
+	Max   int64 `json:"max,omitempty"`
+	SumY  int64 `json:"sum_y,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry: metric name → sample.
+// encoding/json marshals string-keyed maps with sorted keys, so a
+// snapshot's JSON is deterministic.
+type Snapshot map[string]Sample
+
+// Registry holds named metrics. Get-or-create calls (Counter, Gauge,
+// Univariate, Bivariate) take a mutex; producers call them once at
+// setup and keep the returned handle, so recording itself never locks.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]any)}
+}
+
+// lookup returns the metric registered under name, creating it with mk
+// on first use. A name registered as a different kind panics: that is a
+// programming error (two subsystems claiming one name), not a runtime
+// condition.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.m[name]; ok {
+		t, ok := got.(*T)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, got))
+		}
+		return t
+	}
+	t := mk()
+	r.m[name] = t
+	return t
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Univariate returns the univariate registered under name, creating it
+// on first use.
+func (r *Registry) Univariate(name string) *Univariate {
+	u := lookup(r, name, func() *Univariate { return &Univariate{} })
+	u.ensureInit()
+	return u
+}
+
+// Bivariate returns the bivariate registered under name, creating it on
+// first use.
+func (r *Registry) Bivariate(name string) *Bivariate {
+	return lookup(r, name, func() *Bivariate { return &Bivariate{} })
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies every metric's current state. Safe to call at any
+// instant from any goroutine; each metric's fields are read with atomic
+// loads (a univariate's four fields are not read as one transaction,
+// which is fine for monotone accumulation — the sample is a valid state
+// the metric passed through or will pass through field-wise).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := make(map[string]any, len(r.m))
+	for name, m := range r.m {
+		metrics[name] = m
+	}
+	r.mu.Unlock()
+	snap := make(Snapshot, len(metrics))
+	for name, m := range metrics {
+		switch v := m.(type) {
+		case *Counter:
+			snap[name] = Sample{Kind: KindCounter, Sum: v.Value()}
+		case *Gauge:
+			snap[name] = Sample{Kind: KindGauge, Sum: v.Value()}
+		case *Univariate:
+			s := Sample{Kind: KindUnivariate, Count: v.count.Load(), Sum: v.sum.Load()}
+			if s.Count > 0 {
+				s.Min = v.min.Load()
+				s.Max = v.max.Load()
+			}
+			snap[name] = s
+		case *Bivariate:
+			snap[name] = Sample{Kind: KindBivariate, Count: v.Count(), Sum: v.SumX(), SumY: v.SumY()}
+		}
+	}
+	return snap
+}
+
+// MarshalIndentJSON renders the snapshot as indented, deterministic
+// JSON (sorted keys).
+func (s Snapshot) MarshalIndentJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSnapshot decodes a snapshot previously produced by
+// MarshalIndentJSON (or any JSON encoding of Snapshot).
+func ParseSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("metrics: parsing snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Merge copies every sample of o into s under prefix+name, so multiple
+// registries (e.g. a service's own plus its two clusters') export as
+// one namespace.
+func (s Snapshot) Merge(prefix string, o Snapshot) {
+	for name, sample := range o {
+		s[prefix+name] = sample
+	}
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecording hammers every metric type from many
+// goroutines (run under -race in CI) and checks the totals are exact —
+// no lost updates.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Handles fetched inside the goroutine so registration
+			// itself is also exercised concurrently.
+			c := r.Counter("test.counter")
+			g := r.Gauge("test.gauge")
+			u := r.Univariate("test.uni")
+			b := r.Bivariate("test.bi")
+			for i := 0; i < perW; i++ {
+				c.Add(2)
+				g.Set(int64(w))
+				u.Observe(int64(i % 100))
+				b.Observe(3, 7)
+			}
+		}(w)
+	}
+	// Concurrent snapshots mid-hammer must be safe (this is what the
+	// HTTP stats handlers do).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got, want := r.Counter("test.counter").Value(), int64(2*workers*perW); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	u := r.Univariate("test.uni")
+	if got, want := u.Count(), int64(workers*perW); got != want {
+		t.Errorf("univariate count = %d, want %d", got, want)
+	}
+	// Each goroutine observes 0..99 repeated; sum per goroutine is
+	// perW/100 * (0+..+99) = perW/100 * 4950.
+	if got, want := u.Sum(), int64(workers*(perW/100)*4950); got != want {
+		t.Errorf("univariate sum = %d, want %d", got, want)
+	}
+	snap := r.Snapshot()
+	if s := snap["test.uni"]; s.Min != 0 || s.Max != 99 {
+		t.Errorf("univariate min/max = %d/%d, want 0/99", s.Min, s.Max)
+	}
+	if s := snap["test.bi"]; s.Sum != int64(3*workers*perW) || s.SumY != int64(7*workers*perW) {
+		t.Errorf("bivariate sums = %d/%d, want %d/%d", s.Sum, s.SumY, 3*workers*perW, 7*workers*perW)
+	}
+	gv := r.Gauge("test.gauge").Value()
+	if gv < 0 || gv >= workers {
+		t.Errorf("gauge = %d, want a worker index in [0,%d)", gv, workers)
+	}
+}
+
+// TestSnapshotDeterminism checks that two snapshots of identical state
+// serialize to byte-identical JSON — the property the regression diffs
+// rely on.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in different orders; the JSON must not care.
+		names := []string{"z.last", "a.first", "m.mid", "cluster.gen.critical_ns", "http.seeds.count"}
+		for _, n := range names {
+			r.Counter(n).Add(42)
+		}
+		r.Univariate("lat.ns").Observe(5)
+		r.Univariate("lat.ns").Observe(15)
+		r.Bivariate("delta.bytes_pairs").Observe(128, 9)
+		return r
+	}
+	buildRev := func() *Registry {
+		r := NewRegistry()
+		r.Bivariate("delta.bytes_pairs").Observe(128, 9)
+		r.Univariate("lat.ns").Observe(15)
+		r.Univariate("lat.ns").Observe(5)
+		for _, n := range []string{"http.seeds.count", "cluster.gen.critical_ns", "m.mid", "a.first", "z.last"} {
+			r.Counter(n).Add(42)
+		}
+		return r
+	}
+	j1, err := build().Snapshot().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := buildRev().Snapshot().MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("snapshots of identical state differ:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+// TestJSONRoundTrip checks Marshal → Parse preserves every sample.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(123)
+	r.Gauge("g").Set(-7)
+	u := r.Univariate("u")
+	u.ObserveDuration(3 * time.Millisecond)
+	u.ObserveDuration(5 * time.Millisecond)
+	r.Bivariate("b").Observe(1000, 50)
+
+	want := r.Snapshot()
+	j, err := want.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost metrics: got %d, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		if g := got[name]; g != w {
+			t.Errorf("%s: round trip %+v, want %+v", name, g, w)
+		}
+	}
+}
+
+// TestUnivariateEmpty checks an observed-nothing univariate snapshots
+// with zero min/max rather than the sentinel extremes.
+func TestUnivariateEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Univariate("empty")
+	s := r.Snapshot()["empty"]
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Errorf("empty univariate sample = %+v, want all zero", s)
+	}
+}
+
+// TestMerge checks prefixed merging of one snapshot into another.
+func TestMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("queries").Add(1)
+	b.Counter("rounds").Add(9)
+	snap := a.Snapshot()
+	snap.Merge("r1.", b.Snapshot())
+	if snap["queries"].Sum != 1 || snap["r1.rounds"].Sum != 9 {
+		t.Errorf("merge produced %+v", snap)
+	}
+	if _, ok := snap["rounds"]; ok {
+		t.Error("merge leaked unprefixed name")
+	}
+}
+
+// TestKindMismatchPanics pins the contract that re-registering a name
+// as a different kind is a programming error.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual")
+}

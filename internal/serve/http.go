@@ -19,6 +19,7 @@ import (
 //	GET  /v1/spread?seeds=1,2,3&rounds=10000      → spread estimate
 //	GET  /healthz                                 → 200 "ok"
 //	GET  /statsz                                  → Stats
+//	GET  /metricsz                                → raw metric registry snapshot
 //
 // The two query endpoints sit behind admission control: at most
 // Config.MaxInFlight requests run concurrently, the rest get 429 so a
@@ -38,6 +39,10 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 		return nil
 	}))
+	mux.HandleFunc("GET /metricsz", s.instrument("metricsz", false, func(w http.ResponseWriter, r *http.Request) error {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		return nil
+	}))
 	return mux
 }
 
@@ -53,7 +58,7 @@ func (s *Service) instrument(name string, gated bool, h func(http.ResponseWriter
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
-				s.http.rejected.Add(1)
+				s.http.rejected.Inc()
 				// RFC 6585 says a 429 SHOULD tell the client when to come
 				// back; admission-control rejections clear as soon as an
 				// in-flight request finishes, so the minimum granularity.

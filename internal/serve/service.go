@@ -34,6 +34,7 @@ import (
 	"dimm/internal/diffusion"
 	"dimm/internal/graph"
 	"dimm/internal/imm"
+	"dimm/internal/metrics"
 	"dimm/internal/rrset"
 	"dimm/internal/sketch"
 	"dimm/internal/store"
@@ -251,7 +252,7 @@ func (s *Service) degraded(err error) error {
 	if err == nil || !cluster.IsWorkerLoss(err) {
 		return err
 	}
-	s.stats.degraded.Add(1)
+	s.stats.degraded.Inc()
 	return &DegradedError{RetryAfter: degradeRetryAfter, Err: err}
 }
 
@@ -314,56 +315,89 @@ type Service struct {
 	restoredEpochs int   // checkpoint segments replayed at startup
 	restoredTheta  int64 // per-collection RR sets restored at startup
 
+	// reg is the service's metric registry; stats and http hold the
+	// typed handles recorded through on the query paths. /metricsz
+	// exports reg merged with the two clusters' registries.
+	reg   *metrics.Registry
 	stats serviceCounters
 	http  httpCounters
 
 	closed atomic.Bool
 }
 
-// serviceCounters is the query-path accounting exposed on /statsz.
+// serviceCounters is the query-path accounting exposed on /statsz —
+// registry handles resolved once at New, so recording stays one atomic
+// per event while /statsz and /metricsz snapshot concurrently.
 type serviceCounters struct {
-	queries    atomic.Int64 // Query calls that produced an answer
-	cacheHits  atomic.Int64 // served from the LRU
-	reuseHits  atomic.Int64 // served from the resident sample, zero growth
-	growRounds atomic.Int64 // doubling rounds executed
-	generated  atomic.Int64 // RR sets generated since startup (R1 + R2)
+	queries    *metrics.Counter // Query calls that produced an answer
+	cacheHits  *metrics.Counter // served from the LRU
+	reuseHits  *metrics.Counter // served from the resident sample, zero growth
+	growRounds *metrics.Counter // doubling rounds executed
+	generated  *metrics.Counter // RR sets generated since startup (R1 + R2)
 
-	ckptEpochs atomic.Int64 // checkpoint segments written since startup
-	ckptBytes  atomic.Int64 // checkpoint bytes written since startup
-	ckptErrors atomic.Int64 // failed checkpoint attempts (queries unaffected)
-	ckptNanos  atomic.Int64 // wall time spent writing checkpoints
+	ckptEpochs *metrics.Counter // checkpoint segments written since startup
+	ckptBytes  *metrics.Counter // checkpoint bytes written since startup
+	ckptErrors *metrics.Counter // failed checkpoint attempts (queries unaffected)
+	ckptNanos  *metrics.Counter // wall time spent writing checkpoints
 
-	degraded atomic.Int64 // requests refused 503 for lost worker capacity
+	degraded *metrics.Counter // requests refused 503 for lost worker capacity
 
 	// Dynamic-graph accounting: update batches applied, RR sets repaired
 	// in place across both mirrors, full re-mirrors forced by a cluster
 	// rebalance mid-update, and fast-mode queries that fell back to the
 	// certified tier because the sketch lagged the sample epoch.
-	updates      atomic.Int64
-	repairedSets atomic.Int64
-	remirrors    atomic.Int64
-	skStale      atomic.Int64
+	updates      *metrics.Counter
+	repairedSets *metrics.Counter
+	remirrors    *metrics.Counter
+	skStale      *metrics.Counter
 
-	// Fast-tier accounting: sketch build passes and their wall time,
-	// estimator evaluations served, fast-mode queries per endpoint, and
-	// the fast/certified agreement samples collected whenever both
-	// tiers answered the same (k, ε) on the same epoch.
-	skBuilds     atomic.Int64
-	skBuildNanos atomic.Int64
-	skEstimates  atomic.Int64
-	fastSeeds    atomic.Int64
-	fastSpreads  atomic.Int64
-	agreeChecked atomic.Int64
-	agreeMatched atomic.Int64
+	// Fast-tier accounting: sketch build passes and their wall time
+	// (one univariate observation per pass), estimator evaluations
+	// served, fast-mode queries per endpoint, and the fast/certified
+	// agreement samples collected whenever both tiers answered the same
+	// (k, ε) on the same epoch.
+	skBuild      *metrics.Univariate
+	skEstimates  *metrics.Counter
+	fastSeeds    *metrics.Counter
+	fastSpreads  *metrics.Counter
+	agreeChecked *metrics.Counter
+	agreeMatched *metrics.Counter
 
 	// batchMu guards the last-seen cumulative batch counters reported by
 	// the two clusters' workers. The grower overwrites them after every
 	// Generate broadcast; Stats() only reads, so a snapshot never waits
-	// on an in-flight grow round's RPCs.
+	// on an in-flight grow round's RPCs. (BatchStats is a last-reported
+	// cumulative struct, not a monotone accumulation, so it stays
+	// mutex-guarded rather than registry-backed.)
 	batchMu  sync.Mutex
 	batch1   rrset.BatchStats // R1 cluster, cumulative since startup
 	batch2   rrset.BatchStats // R2 cluster, cumulative since startup
 	genCalls int64            // Generate broadcasts issued by the grower
+}
+
+func newServiceCounters(reg *metrics.Registry) serviceCounters {
+	return serviceCounters{
+		queries:      reg.Counter("svc.queries"),
+		cacheHits:    reg.Counter("svc.cache_hits"),
+		reuseHits:    reg.Counter("svc.reuse_hits"),
+		growRounds:   reg.Counter("svc.grow_rounds"),
+		generated:    reg.Counter("svc.generated"),
+		ckptEpochs:   reg.Counter("svc.ckpt.epochs"),
+		ckptBytes:    reg.Counter("svc.ckpt.bytes"),
+		ckptErrors:   reg.Counter("svc.ckpt.errors"),
+		ckptNanos:    reg.Counter("svc.ckpt.ns"),
+		degraded:     reg.Counter("svc.degraded"),
+		updates:      reg.Counter("svc.update.calls"),
+		repairedSets: reg.Counter("svc.update.repaired_sets"),
+		remirrors:    reg.Counter("svc.update.remirrors"),
+		skStale:      reg.Counter("svc.sketch.stale"),
+		skBuild:      reg.Univariate("svc.sketch.build_ns"),
+		skEstimates:  reg.Counter("svc.sketch.estimates"),
+		fastSeeds:    reg.Counter("svc.fast.seed_queries"),
+		fastSpreads:  reg.Counter("svc.fast.spread_queries"),
+		agreeChecked: reg.Counter("svc.fast.agree_checked"),
+		agreeMatched: reg.Counter("svc.fast.agree_matched"),
+	}
 }
 
 // New builds the service and its warm clusters. The resident sample
@@ -395,6 +429,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("serve: dynamic mode: %w", err)
 		}
 	}
+	reg := metrics.NewRegistry()
 	s := &Service{
 		cfg:    cfg,
 		n:      n,
@@ -403,8 +438,10 @@ func New(cfg Config) (*Service, error) {
 		r2:     rrset.NewCollection(1 << 16),
 		cache:  newAnswerCache(cfg.CacheSize),
 		sem:    make(chan struct{}, cfg.MaxInFlight),
+		reg:    reg,
+		stats:  newServiceCounters(reg),
 	}
-	s.http.started = time.Now()
+	s.http.init(reg)
 	if (cfg.C1 == nil) != (cfg.C2 == nil) {
 		return nil, fmt.Errorf("serve: C1 and C2 must be supplied together")
 	}
@@ -597,13 +634,13 @@ func (s *Service) QueryMode(k int, eps float64, mode Mode) (*Answer, error) {
 		// the resident mirror, so certificates no longer describe the
 		// current graph. Refuse with a retry hint until an update retry
 		// (idempotent, version-gated) heals the state.
-		s.stats.degraded.Add(1)
+		s.stats.degraded.Inc()
 		return nil, &DegradedError{RetryAfter: degradeRetryAfter,
 			Err: fmt.Errorf("serve: resident sample behind the graph after an interrupted update; retry the update")}
 	}
 	if ans, ok := s.cache.get(k, eps, mode); ok {
-		s.stats.queries.Add(1)
-		s.stats.cacheHits.Add(1)
+		s.stats.queries.Inc()
+		s.stats.cacheHits.Inc()
 		hit := *ans
 		hit.Cached = true
 		return &hit, nil
@@ -691,9 +728,9 @@ func (s *Service) tryServe(k int, eps, target float64, grew int) (*Answer, bool,
 	}
 	s.cache.put(k, eps, ModeCertified, ans)
 	s.noteAgreement(ans)
-	s.stats.queries.Add(1)
+	s.stats.queries.Inc()
 	if grew == 0 {
-		s.stats.reuseHits.Add(1)
+		s.stats.reuseHits.Inc()
 	}
 	return ans, true, nil
 }
@@ -772,7 +809,7 @@ func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, b
 		// it has not absorbed): its rankings are stale, so serve this
 		// query from the certified tier instead of pre-ranking on them.
 		s.mu.RUnlock()
-		s.stats.skStale.Add(1)
+		s.stats.skStale.Inc()
 		return s.tryServe(k, eps, target, grew)
 	}
 	sel, err := core.SelectFromSampleCandidates(s.r1, s.idx1, s.n, k, s.par, cands)
@@ -821,10 +858,10 @@ func (s *Service) tryServeFast(k int, eps, target float64, grew int) (*Answer, b
 	}
 	s.cache.put(k, eps, ModeFast, ans)
 	s.noteAgreement(ans)
-	s.stats.queries.Add(1)
-	s.stats.fastSeeds.Add(1)
+	s.stats.queries.Inc()
+	s.stats.fastSeeds.Inc()
 	if grew == 0 {
-		s.stats.reuseHits.Add(1)
+		s.stats.reuseHits.Inc()
 	}
 	return ans, true, nil
 }
@@ -846,9 +883,9 @@ func (s *Service) noteAgreement(ans *Answer) {
 	if !ok || peer.Epoch != ans.Epoch {
 		return
 	}
-	s.stats.agreeChecked.Add(1)
+	s.stats.agreeChecked.Inc()
 	if sameSeedSet(ans.Seeds, peer.Seeds) {
-		s.stats.agreeMatched.Add(1)
+		s.stats.agreeMatched.Inc()
 	}
 }
 
@@ -931,7 +968,7 @@ func (s *Service) grow(fromEpoch uint64) error {
 		return s.degraded(err)
 	}
 	s.stats.generated.Add(int64(new1.Count() + new2.Count()))
-	s.stats.growRounds.Add(1)
+	s.stats.growRounds.Inc()
 
 	s.mu.Lock()
 	err = func() error {
@@ -997,8 +1034,7 @@ func (s *Service) updateSketch() {
 	s.skEpoch = epoch
 	s.sketchMu.Unlock()
 	if added > 0 {
-		s.stats.skBuilds.Add(1)
-		s.stats.skBuildNanos.Add(d.Nanoseconds())
+		s.stats.skBuild.ObserveDuration(d)
 		s.clusterMu.Lock()
 		s.c1.AddSketchBuild(d)
 		s.clusterMu.Unlock()
@@ -1018,13 +1054,13 @@ func (s *Service) maybeCheckpoint() {
 	}
 	start := time.Now()
 	n, err := s.st.Checkpoint(s.epoch, s.r1, s.r2)
-	s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+	s.stats.ckptNanos.AddDuration(time.Since(start))
 	if err != nil {
-		s.stats.ckptErrors.Add(1)
+		s.stats.ckptErrors.Inc()
 		return
 	}
 	if n > 0 {
-		s.stats.ckptEpochs.Add(1)
+		s.stats.ckptEpochs.Inc()
 		s.stats.ckptBytes.Add(n)
 	}
 	if s.sk != nil {
@@ -1036,9 +1072,9 @@ func (s *Service) maybeCheckpoint() {
 		start = time.Now()
 		nsk, err := s.st.CheckpointSketch(s.epoch, s.sk)
 		s.sketchMu.RUnlock()
-		s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+		s.stats.ckptNanos.AddDuration(time.Since(start))
 		if err != nil {
-			s.stats.ckptErrors.Add(1)
+			s.stats.ckptErrors.Inc()
 			return
 		}
 		s.stats.ckptBytes.Add(nsk)
@@ -1073,7 +1109,7 @@ func (s *Service) SpreadSketch(seeds []uint32) (est, relStdErr float64, err erro
 	}
 	est, evals := s.sk.EstimateSpreadSet(seeds)
 	s.stats.skEstimates.Add(int64(evals))
-	s.stats.fastSpreads.Add(1)
+	s.stats.fastSpreads.Inc()
 	return est, s.sk.RelStdErr(), nil
 }
 
@@ -1192,6 +1228,17 @@ func (st Stats) ReuseRate() float64 {
 	return float64(st.CacheHits+st.ReuseHits) / float64(st.Queries)
 }
 
+// MetricsSnapshot exports the raw metric registries behind /statsz: the
+// service's own registry merged with the two clusters' registries under
+// "r1." / "r2." prefixes. Cluster snapshots read only local atomics —
+// no worker RPCs — so this is safe to call concurrently with queries.
+func (s *Service) MetricsSnapshot() metrics.Snapshot {
+	snap := s.reg.Snapshot()
+	snap.Merge("r1.", s.c1.MetricsSnapshot())
+	snap.Merge("r2.", s.c2.MetricsSnapshot())
+	return snap
+}
+
 // Stats snapshots the counters. The sample figures are read under the
 // epoch lock via immutable snapshots, so a concurrent grower is never
 // blocked for longer than the two header copies.
@@ -1208,44 +1255,44 @@ func (s *Service) Stats() Stats {
 		TotalRRSize: snap1.TotalSize() + snap2.TotalSize(),
 		KMax:        s.cfg.KMax,
 		EpsFloor:    s.cfg.EpsFloor,
-		Queries:     s.stats.queries.Load(),
-		CacheHits:   s.stats.cacheHits.Load(),
-		ReuseHits:   s.stats.reuseHits.Load(),
-		GrowRounds:  s.stats.growRounds.Load(),
-		Generated:   s.stats.generated.Load(),
+		Queries:     s.stats.queries.Value(),
+		CacheHits:   s.stats.cacheHits.Value(),
+		ReuseHits:   s.stats.reuseHits.Value(),
+		GrowRounds:  s.stats.growRounds.Value(),
+		Generated:   s.stats.generated.Value(),
 
 		SketchRestored:     s.skRestored,
-		SketchBuilds:       s.stats.skBuilds.Load(),
-		SketchBuildSeconds: float64(s.stats.skBuildNanos.Load()) / 1e9,
-		SketchEstimates:    s.stats.skEstimates.Load(),
-		FastSeedQueries:    s.stats.fastSeeds.Load(),
-		FastSpreadQueries:  s.stats.fastSpreads.Load(),
-		FastAgreeChecked:   s.stats.agreeChecked.Load(),
-		FastAgreeMatched:   s.stats.agreeMatched.Load(),
+		SketchBuilds:       s.stats.skBuild.Count(),
+		SketchBuildSeconds: float64(s.stats.skBuild.Sum()) / 1e9,
+		SketchEstimates:    s.stats.skEstimates.Value(),
+		FastSeedQueries:    s.stats.fastSeeds.Value(),
+		FastSpreadQueries:  s.stats.fastSpreads.Value(),
+		FastAgreeChecked:   s.stats.agreeChecked.Value(),
+		FastAgreeMatched:   s.stats.agreeMatched.Value(),
 
 		Restored:          s.restoredTheta > 0,
 		RestoredEpochs:    s.restoredEpochs,
 		RestoredTheta:     s.restoredTheta,
-		CheckpointEpochs:  s.stats.ckptEpochs.Load(),
-		CheckpointBytes:   s.stats.ckptBytes.Load(),
-		CheckpointErrors:  s.stats.ckptErrors.Load(),
-		CheckpointSeconds: float64(s.stats.ckptNanos.Load()) / 1e9,
+		CheckpointEpochs:  s.stats.ckptEpochs.Value(),
+		CheckpointBytes:   s.stats.ckptBytes.Value(),
+		CheckpointErrors:  s.stats.ckptErrors.Value(),
+		CheckpointSeconds: float64(s.stats.ckptNanos.Value()) / 1e9,
 
 		// Cluster health has its own lock, so snapshotting it never waits
 		// on an in-flight grow round's RPCs.
 		R1Workers: s.c1.Health(),
 		R2Workers: s.c2.Health(),
-		Degraded:  s.stats.degraded.Load(),
+		Degraded:  s.stats.degraded.Value(),
 
 		GraphVersion: gver,
-		Updates:      s.stats.updates.Load(),
-		RepairedSets: s.stats.repairedSets.Load(),
-		Remirrors:    s.stats.remirrors.Load(),
-		SketchStale:  s.stats.skStale.Load(),
+		Updates:      s.stats.updates.Value(),
+		RepairedSets: s.stats.repairedSets.Value(),
+		Remirrors:    s.stats.remirrors.Value(),
+		SketchStale:  s.stats.skStale.Value(),
 		UpdateDebt:   s.updateDebt.Load(),
 
 		InFlight: int64(len(s.sem)),
-		Rejected: s.http.rejected.Load(),
+		Rejected: s.http.rejected.Value(),
 		Uptime:   time.Since(s.http.started).Seconds(),
 		Endpoint: s.http.snapshot(),
 	}

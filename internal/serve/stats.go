@@ -3,8 +3,9 @@ package serve
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"dimm/internal/metrics"
 )
 
 // latencyRing keeps the most recent request latencies per endpoint so
@@ -13,22 +14,28 @@ import (
 // for an in-process counter, and allocation-free at record time.
 const latencyRingSize = 1024
 
-// endpointStats aggregates one endpoint's request accounting.
+// endpointStats aggregates one endpoint's request accounting. Count,
+// errors and the latency distribution live in the metric registry
+// ("http.<name>.*"); the ring is the one piece the registry cannot
+// carry — a recency window for the p50/p99 the /statsz payload reports.
 type endpointStats struct {
+	count  *metrics.Counter
+	errors *metrics.Counter
+	lat    *metrics.Univariate // all-time latency distribution, ns
+
 	mu      sync.Mutex
-	count   int64
-	errors  int64
 	ring    [latencyRingSize]time.Duration
 	ringLen int
 	ringPos int
 }
 
 func (e *endpointStats) record(d time.Duration, isErr bool) {
-	e.mu.Lock()
-	e.count++
+	e.count.Inc()
 	if isErr {
-		e.errors++
+		e.errors.Inc()
 	}
+	e.lat.ObserveDuration(d)
+	e.mu.Lock()
 	e.ring[e.ringPos] = d
 	e.ringPos = (e.ringPos + 1) % latencyRingSize
 	if e.ringLen < latencyRingSize {
@@ -46,8 +53,8 @@ type EndpointSnapshot struct {
 }
 
 func (e *endpointStats) snapshot() EndpointSnapshot {
+	snap := EndpointSnapshot{Count: e.count.Value(), Errors: e.errors.Value()}
 	e.mu.Lock()
-	snap := EndpointSnapshot{Count: e.count, Errors: e.errors}
 	lat := make([]time.Duration, e.ringLen)
 	copy(lat, e.ring[:e.ringLen])
 	e.mu.Unlock()
@@ -73,12 +80,19 @@ func quantileIdx(n int, q float64) int {
 }
 
 // httpCounters is the HTTP layer's accounting: per-endpoint latency and
-// error counts plus admission-control rejections.
+// error counts plus admission-control rejections, registry-backed.
 type httpCounters struct {
 	started  time.Time
-	rejected atomic.Int64
+	reg      *metrics.Registry
+	rejected *metrics.Counter
 	mu       sync.Mutex
 	byName   map[string]*endpointStats
+}
+
+func (h *httpCounters) init(reg *metrics.Registry) {
+	h.started = time.Now()
+	h.reg = reg
+	h.rejected = reg.Counter("http.rejected")
 }
 
 func (h *httpCounters) endpoint(name string) *endpointStats {
@@ -89,7 +103,11 @@ func (h *httpCounters) endpoint(name string) *endpointStats {
 	}
 	e, ok := h.byName[name]
 	if !ok {
-		e = &endpointStats{}
+		e = &endpointStats{
+			count:  h.reg.Counter("http." + name + ".count"),
+			errors: h.reg.Counter("http." + name + ".errors"),
+			lat:    h.reg.Univariate("http." + name + ".latency_ns"),
+		}
 		h.byName[name] = e
 	}
 	return e

@@ -172,7 +172,7 @@ func (s *Service) Update(seq uint64, ops []graph.EdgeUpdate) (*UpdateResult, err
 		}
 	}
 	s.updateDebt.Store(false)
-	s.stats.updates.Add(1)
+	s.stats.updates.Inc()
 	s.stats.repairedSets.Add(int64(repaired))
 	s.rebuildSketch()
 	s.maybeCheckpointDelta(batch, repaired, remirrored)
@@ -309,7 +309,7 @@ func (s *Service) remirror() error {
 	s.gver = s.cfg.Graph.Version()
 	s.epoch++
 	s.cache.advance(s.epoch)
-	s.stats.remirrors.Add(1)
+	s.stats.remirrors.Inc()
 	return nil
 }
 
@@ -329,9 +329,9 @@ func (s *Service) maybeCheckpointDelta(b mutate.Batch, repaired int, remirrored 
 	s.mu.RUnlock()
 	start := time.Now()
 	bytes, err := s.st.AppendDelta(epoch, b, repaired, remirrored)
-	s.stats.ckptNanos.Add(time.Since(start).Nanoseconds())
+	s.stats.ckptNanos.AddDuration(time.Since(start))
 	if err != nil {
-		s.stats.ckptErrors.Add(1)
+		s.stats.ckptErrors.Inc()
 		return
 	}
 	s.stats.ckptBytes.Add(bytes)
@@ -362,6 +362,5 @@ func (s *Service) rebuildSketch() {
 	s.sk = fresh
 	s.skEpoch = epoch
 	s.sketchMu.Unlock()
-	s.stats.skBuilds.Add(1)
-	s.stats.skBuildNanos.Add(d.Nanoseconds())
+	s.stats.skBuild.ObserveDuration(d)
 }

@@ -353,7 +353,7 @@ func TestSketchStaleFallback(t *testing.T) {
 	s.sketchMu.Lock()
 	s.skEpoch--
 	s.sketchMu.Unlock()
-	before := s.stats.skStale.Load()
+	before := s.stats.skStale.Value()
 	ans, err := s.QueryMode(7, 0.3, ModeFast)
 	if err != nil {
 		t.Fatal(err)
@@ -361,7 +361,7 @@ func TestSketchStaleFallback(t *testing.T) {
 	if ans.Mode != ModeCertified {
 		t.Fatalf("stale-sketch fast query answered on tier %q, want the certified fallback", ans.Mode)
 	}
-	if got := s.stats.skStale.Load(); got != before+1 {
+	if got := s.stats.skStale.Value(); got != before+1 {
 		t.Fatalf("sketch_stale counter %d, want %d", got, before+1)
 	}
 	// An update rebuilds the sketch to the new epoch, so fast service
